@@ -1,0 +1,252 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus ablations for the design choices DESIGN.md calls
+// out. Each benchmark runs a full model-checking exploration per
+// iteration and reports the paper's metrics (#Execs, #FPoints) via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the rows EXPERIMENTS.md records. Absolute ns/op depends on the
+// host; the metric shapes are the reproduction target.
+package cxlmc_test
+
+import (
+	"fmt"
+	"testing"
+
+	cxlmc "repro"
+	"repro/internal/cxlshm"
+	"repro/internal/harness"
+	"repro/internal/memmodel"
+	"repro/internal/recipe"
+)
+
+// exploreOnce runs one full exploration and reports the paper metrics.
+func exploreOnce(b *testing.B, cfg cxlmc.Config, prog func(*cxlmc.Program)) {
+	b.Helper()
+	var last *cxlmc.Result
+	for i := 0; i < b.N; i++ {
+		res, err := cxlmc.Run(cfg, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Executions), "execs")
+	b.ReportMetric(float64(last.FailurePoints), "fpoints")
+	b.ReportMetric(float64(last.ReadFromPoints), "rfpoints")
+}
+
+// --- Table 1: Px86_sim ordering machinery -------------------------------
+
+// BenchmarkTable1OrderingMatrix measures the raw store-buffer/flush-buffer
+// commit machinery the ordering matrix tests exercise: the substrate cost
+// under every checked execution.
+func BenchmarkTable1OrderingMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := memmodel.NewMemory()
+		tb := memmodel.NewThreadBuf()
+		for j := 0; j < 64; j++ {
+			a := memmodel.Addr(j%4) * 64
+			tb.ExecStore(a, 8, uint64(j))
+			tb.ExecClflushopt(a, m.Seq())
+			tb.ExecSfence()
+			m.CommitStore(tb, 0)
+			m.CommitClflushopt(tb)
+			m.CommitSfence(tb)
+			for len(tb.FB) > 0 {
+				m.CommitFB(tb, 0)
+			}
+		}
+	}
+}
+
+// --- Figures 2–4: constraint refinement ---------------------------------
+
+func figureProgram(withCLFlush bool, machines int) func(*cxlmc.Program) {
+	return func(p *cxlmc.Program) {
+		names := []string{"A", "B", "C"}
+		ms := make([]*cxlmc.Machine, machines)
+		for i := range ms {
+			ms[i] = p.NewMachine(names[i])
+		}
+		y := p.Alloc(8)
+		x := p.Alloc(8)
+		hb := p.AllocAligned(8, 64)
+		ms[0].Thread("w", func(t *cxlmc.Thread) {
+			t.Store64(y, 1)
+			t.Store64(x, 2)
+			if withCLFlush {
+				t.CLFlush(y)
+				t.SFence()
+			}
+			t.Store64(y, 3)
+			t.Store64(x, 4)
+			t.Store64(y, 5)
+			t.Store64(x, 6)
+			t.Store64(hb, 1)
+			t.CLFlush(hb)
+			t.SFence()
+		})
+		reader := ms[len(ms)-1]
+		reader.Thread("r", func(t *cxlmc.Thread) {
+			t.Join(ms[0])
+			v1 := t.Load64(y)
+			v2 := t.Load64(y)
+			t.Assert(v1 == v2, "consecutive loads disagree")
+			t.Load64(x)
+		})
+		if machines > 2 {
+			ms[1].Thread("w2", func(t *cxlmc.Thread) {
+				t.Join(ms[0])
+				t.Store64(y, 7)
+				t.CLFlush(y)
+				t.SFence()
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2 explores the single-machine clflush-constraint scenario.
+func BenchmarkFigure2(b *testing.B) {
+	exploreOnce(b, cxlmc.Config{}, figureProgram(true, 2))
+}
+
+// BenchmarkFigure3 explores remote-load refinement and consecutive-load
+// consistency.
+func BenchmarkFigure3(b *testing.B) {
+	exploreOnce(b, cxlmc.Config{}, figureProgram(false, 2))
+}
+
+// BenchmarkFigure4 explores per-machine constraints with two failing
+// machines.
+func BenchmarkFigure4(b *testing.B) {
+	exploreOnce(b, cxlmc.Config{}, figureProgram(false, 3))
+}
+
+// --- Table 3: RECIPE bug detection ---------------------------------------
+
+// BenchmarkTable3Detect measures time-to-first-bug for every seeded
+// RECIPE bug (one sub-benchmark per Table 3 row).
+func BenchmarkTable3Detect(b *testing.B) {
+	for _, bench := range harness.Benchmarks {
+		for _, bi := range bench.Bugs {
+			bench, bi := bench, bi
+			b.Run(fmt.Sprintf("%s_bug%02d", bench.Name, bi.Table), func(b *testing.B) {
+				var execs int
+				for i := 0; i < b.N; i++ {
+					res, err := harness.BugHunt(bench, bi, cxlmc.Config{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Buggy() {
+						b.Fatalf("bug #%d not detected", bi.Table)
+					}
+					execs = res.Executions
+				}
+				b.ReportMetric(float64(execs), "execs-to-bug")
+			})
+		}
+	}
+}
+
+// --- Table 4: CXL-SHM bug detection --------------------------------------
+
+// BenchmarkTable4Detect measures time-to-first-bug for the CXL-SHM cases.
+func BenchmarkTable4Detect(b *testing.B) {
+	for _, c := range cxlshm.Cases {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var execs int
+			for i := 0; i < b.N; i++ {
+				res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: harness.DefaultMaxExecutions}, c.Program(c.Bit))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Buggy() {
+					b.Fatalf("%s not detected", c.Name)
+				}
+				execs = res.Executions
+			}
+			b.ReportMetric(float64(execs), "execs-to-bug")
+		})
+	}
+}
+
+// --- Table 5: exploration statistics on fixed benchmarks -----------------
+
+// BenchmarkTable5 explores every fixed RECIPE benchmark to completion,
+// with and without GPF mode — the paper's Table 5 rows (2 machines × 2
+// threads, 10 keys).
+func BenchmarkTable5(b *testing.B) {
+	for _, gpf := range []bool{false, true} {
+		for _, bench := range harness.Benchmarks {
+			bench, gpf := bench, gpf
+			name := bench.Name
+			if gpf {
+				name += "_GPF"
+			}
+			b.Run(name, func(b *testing.B) {
+				exploreOnce(b, cxlmc.Config{GPF: gpf}, recipe.Program(bench, harness.Table5Config()))
+			})
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------
+
+// BenchmarkAblationReadSet compares the paper's §4.5 lazy read-from
+// search against eagerly materializing the full Algorithm 3 set: same
+// exploration, different per-load cost.
+func BenchmarkAblationReadSet(b *testing.B) {
+	prog := recipe.Program(harness.Benchmarks[0], harness.Table5Config())
+	b.Run("lazy", func(b *testing.B) { exploreOnce(b, cxlmc.Config{}, prog) })
+	b.Run("eager", func(b *testing.B) { exploreOnce(b, cxlmc.Config{EagerReadSet: true}, prog) })
+}
+
+// BenchmarkAblationCommitChance sweeps the store-buffer drain bias: the
+// knob controlling how long TSO reorder windows stay open in the fixed
+// schedule.
+func BenchmarkAblationCommitChance(b *testing.B) {
+	prog := recipe.Program(harness.Benchmarks[0], harness.Table5Config())
+	for _, chance := range []int{10, 25, 50, 75} {
+		chance := chance
+		b.Run(fmt.Sprintf("chance%02d", chance), func(b *testing.B) {
+			exploreOnce(b, cxlmc.Config{CommitChance: chance}, prog)
+		})
+	}
+}
+
+// BenchmarkAblationSeeds runs the same fixed benchmark under several
+// schedules (§4.6 fuzzing mode): exploration size varies with the seed,
+// soundness does not.
+func BenchmarkAblationSeeds(b *testing.B) {
+	prog := recipe.Program(harness.Benchmarks[0], harness.Table5Config())
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		b.Run(fmt.Sprintf("seed%d", seed), func(b *testing.B) {
+			exploreOnce(b, cxlmc.Config{Seed: seed}, prog)
+		})
+	}
+}
+
+// BenchmarkAblationPoison measures the memory-poisoning mode's cost on a
+// poison-free program (the option the evaluation leaves off).
+func BenchmarkAblationPoison(b *testing.B) {
+	prog := func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		c := p.NewMachine("B")
+		x := p.Alloc(8)
+		a.Thread("w", func(t *cxlmc.Thread) {
+			t.Store64(x, 1)
+			t.CLFlush(x)
+			t.SFence()
+		})
+		c.Thread("r", func(t *cxlmc.Thread) {
+			t.Join(a)
+			t.Load64(x)
+		})
+	}
+	b.Run("off", func(b *testing.B) { exploreOnce(b, cxlmc.Config{}, prog) })
+	b.Run("on", func(b *testing.B) { exploreOnce(b, cxlmc.Config{Poison: true, ContinueAfterBug: true}, prog) })
+}

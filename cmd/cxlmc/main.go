@@ -1,0 +1,127 @@
+// Command cxlmc runs one benchmark program under the CXLMC model
+// checker and reports the bugs found together with exploration
+// statistics.
+//
+// Usage:
+//
+//	cxlmc -bench CCEH [-keys 10] [-workers 1] [-stride 1] [-bugs 0x3]
+//	      [-gpf] [-poison] [-seed 0] [-max-execs 0] [-trace]
+//
+// -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
+// P-BwTree, P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress).
+// -bugs is a bitmask enabling that benchmark's seeded bugs (0 = fixed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	cxlmc "repro"
+	"repro/internal/cxlshm"
+	"repro/internal/harness"
+	"repro/internal/recipe"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark name (CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-MassTree, kv, test_stress)")
+		keys     = flag.Int("keys", 10, "total keys inserted")
+		workers  = flag.Int("workers", 1, "insert workers per machine")
+		stride   = flag.Int("stride", 1, "key stride")
+		bugsFlag = flag.String("bugs", "0", "seeded-bug bitmask (e.g. 0x3); 0 = all fixed")
+		gpf      = flag.Bool("gpf", false, "assume global persistent flush always succeeds")
+		poison   = flag.Bool("poison", false, "enable CXL memory poisoning")
+		seed     = flag.Int64("seed", 0, "schedule seed")
+		maxExecs = flag.Int("max-execs", 0, "cap on explored executions (0 = exhaustive)")
+		trace    = flag.Bool("trace", false, "stream a per-event trace to stdout")
+		seeds    = flag.Int("seeds", 1, "fuzz across this many schedule seeds (§4.6)")
+		list     = flag.Bool("list", false, "list benchmarks and their seeded bugs")
+	)
+	flag.Parse()
+
+	if *list {
+		listBenchmarks()
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -bench is required (try -list)")
+		os.Exit(2)
+	}
+
+	bugs, err := strconv.ParseUint(*bugsFlag, 0, 32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlmc: bad -bugs %q: %v\n", *bugsFlag, err)
+		os.Exit(2)
+	}
+
+	cfg := cxlmc.Config{Seed: *seed, GPF: *gpf, Poison: *poison, MaxExecutions: *maxExecs}
+	if *trace {
+		cfg.Trace = os.Stdout
+	}
+
+	var program func(*cxlmc.Program)
+	if b, ok := harness.ByName(*bench); ok {
+		program = recipe.Program(b, recipe.Config{
+			Keys: *keys, Workers: *workers, Stride: *stride, Bugs: recipe.Bug(bugs),
+		})
+	} else {
+		found := false
+		for _, c := range cxlshm.Cases {
+			if c.Name == *bench {
+				program = c.Program(cxlshm.Bug(bugs))
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "cxlmc: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+	}
+
+	buggy := false
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		cfg.Seed = s
+		res, err := cxlmc.Run(cfg, program)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", *bench, bugs, *gpf, s)
+		fmt.Printf("executions  %d (complete=%v)\n", res.Executions, res.Complete)
+		fmt.Printf("fpoints     %d\n", res.FailurePoints)
+		fmt.Printf("rfpoints    %d\n", res.ReadFromPoints)
+		fmt.Printf("time        %v\n", res.Elapsed)
+		if res.Buggy() {
+			buggy = true
+			fmt.Printf("BUGS FOUND  %d\n", len(res.Bugs))
+			for _, b := range res.Bugs {
+				fmt.Printf("  %s\n", b)
+			}
+		} else {
+			fmt.Println("no bugs found")
+		}
+	}
+	if buggy {
+		os.Exit(1)
+	}
+}
+
+func listBenchmarks() {
+	for _, b := range harness.Benchmarks {
+		fmt.Printf("%s\n", b.Name)
+		for _, bi := range b.Bugs {
+			star := " "
+			if bi.New {
+				star = "*"
+			}
+			fmt.Printf("  bug #%-2d%s bit %#-4x %s\n", bi.Table, star, uint32(bi.Bit), bi.Desc)
+		}
+	}
+	for _, c := range cxlshm.Cases {
+		fmt.Printf("%s (CXL-SHM)\n", c.Name)
+		fmt.Printf("  bug     * bit %#-4x %s\n", uint32(c.Bit), c.Desc)
+	}
+}

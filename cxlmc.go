@@ -1,0 +1,120 @@
+// Package cxlmc is a model checker for crash-consistency bugs in CXL
+// shared-memory programs, reproducing "CXLMC: Model Checking CXL Shared
+// Memory Programs" (ASPLOS 2026).
+//
+// # Background
+//
+// Compute Express Link (CXL) 3.0 lets many machines share one
+// memory device cache-coherently. Each machine caches device memory; if a
+// machine fails before its dirty cache lines are written back, the latest
+// stores to those lines are lost — but only that machine's stores, and
+// only the unflushed ones. Crash-consistent CXL data structures therefore
+// combine careful store ordering with clflush/clflushopt + sfence, and
+// getting this right is notoriously error prone.
+//
+// cxlmc systematically explores the partial-failure executions of a
+// simulated multi-machine CXL program: every subset of machines failing
+// at every relevant point, and every crash-consistent value each
+// post-failure load could return. It uses cache-line constraint
+// refinement — tracking, per machine and cache line, the interval of
+// possible last-write-back times — so that the exploration visits one
+// execution per observably-different crash state instead of exponentially
+// many.
+//
+// # Quick start
+//
+//	res, err := cxlmc.Run(cxlmc.Config{}, func(p *cxlmc.Program) {
+//		a := p.NewMachine("A")
+//		b := p.NewMachine("B")
+//		data := p.Alloc(8)
+//		flag := p.AllocAligned(8, 64)
+//		a.Thread("writer", func(t *cxlmc.Thread) {
+//			t.Store64(data, 42)
+//			t.CLFlush(data) // forget this line and the checker finds the bug
+//			t.SFence()
+//			t.Store64(flag, 1)
+//			t.CLFlush(flag)
+//			t.SFence()
+//		})
+//		b.Thread("reader", func(t *cxlmc.Thread) {
+//			t.Join(a)
+//			if t.Load64(flag) == 1 {
+//				t.Assert(t.Load64(data) == 42, "flag set but data lost")
+//			}
+//		})
+//	})
+//
+// A program is rebuilt by the setup function once per explored execution,
+// so it must be deterministic apart from the Thread API calls.
+//
+// # Guarantees
+//
+// Soundness: every execution the checker reports is feasible under the
+// x86-CXL memory and failure model (Px86_sim ordering plus per-machine
+// cache loss), so every bug found is a real bug of the model.
+// Completeness: for a fixed thread schedule (fixed Config.Seed), at least
+// one execution from every reads-from equivalence class of crash
+// behaviours is explored. Thread-interleaving non-determinism is not
+// model checked — vary Seed to fuzz schedules, as the paper does.
+package cxlmc
+
+import "repro/internal/core"
+
+// Config controls a model-checking run. The zero value uses sensible
+// defaults (seed 0, no GPF, no poisoning, full exploration).
+type Config = core.Config
+
+// Program describes one execution of the checked program during setup.
+type Program = core.Program
+
+// Machine is a simulated compute node — an independent failure domain.
+type Machine = core.Machine
+
+// Thread is a simulated thread's handle for all memory accesses, fences,
+// flushes and synchronization.
+type Thread = core.Thread
+
+// Mutex is the failure-aware mutex of the CXLMC runtime: automatically
+// released when its owner's machine fails, and able to report that to the
+// next owner so recovery can run.
+type Mutex = core.Mutex
+
+// Addr is a byte address in the simulated CXL shared-memory region.
+type Addr = core.Addr
+
+// MachineID identifies a simulated compute node.
+type MachineID = core.MachineID
+
+// Result is the outcome of a run: exploration statistics and the distinct
+// bugs found.
+type Result = core.Result
+
+// Stats holds the exploration statistics (#Execs, #FPoints, ...).
+type Stats = core.Stats
+
+// Bug is one distinct bug found during exploration.
+type Bug = core.Bug
+
+// BugKind classifies a bug report.
+type BugKind = core.BugKind
+
+// Bug kinds reported by the checker.
+const (
+	// BugAssertion is a failed Thread.Assert.
+	BugAssertion = core.BugAssertion
+	// BugSegfault is an access outside allocated simulated memory.
+	BugSegfault = core.BugSegfault
+	// BugPanic is a runtime panic escaping checked code.
+	BugPanic = core.BugPanic
+	// BugDeadlock means no thread could make progress.
+	BugDeadlock = core.BugDeadlock
+	// BugPoison is a read of a poisoned cache line (Config.Poison).
+	BugPoison = core.BugPoison
+)
+
+// Run explores the crashing executions of the program built by setup and
+// returns the bugs found together with exploration statistics. setup is
+// invoked once per execution.
+func Run(cfg Config, setup func(*Program)) (*Result, error) {
+	return core.Run(cfg, setup)
+}

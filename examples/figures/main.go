@@ -1,0 +1,199 @@
+// Figures: reproduce the constraint-refinement walkthroughs of the
+// paper's Figures 2, 3 and 4 through their observable effects — the sets
+// of values a surviving machine can read after partial failures.
+//
+//	go run ./examples/figures
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	cxlmc "repro"
+)
+
+func sortedSet(m map[uint64]bool) []uint64 {
+	out := []uint64{}
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// figure2 — machine A stores y=1, x=2, clflush, y=3, x=4, y=5, x=6 and
+// fails; machine B reads x and y. In every execution where the clflush
+// took effect before the failure (the figure's timeline), the constraint
+// is [3,∞): x ∈ {2,4,6} and y ∈ {1,3,5} — never the initial zeros.
+func figure2() {
+	xs, ys := map[uint64]bool{}, map[uint64]bool{}
+	preFlush := 0
+	res, err := cxlmc.Run(cxlmc.Config{}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		y := p.Alloc(8)
+		x := p.Alloc(8) // same cache line as y, no overlap
+		hb := p.AllocAligned(8, 64)
+		a.Thread("w", func(t *cxlmc.Thread) {
+			t.Store64(y, 1)
+			t.Store64(x, 2)
+			t.CLFlush(y)
+			t.SFence()
+			t.Store64(y, 3)
+			t.Store64(x, 4)
+			t.Store64(y, 5)
+			t.Store64(x, 6)
+			// Heartbeat on an unrelated line: its flush is a failure
+			// point after the last data store, so "A crashed at the end
+			// of the figure's timeline" is part of the explored space.
+			t.Store64(hb, 1)
+			t.CLFlush(hb)
+			t.SFence()
+		})
+		b.Thread("r", func(t *cxlmc.Thread) {
+			t.Join(a)
+			vx := t.Load64(x)
+			vy := t.Load64(y)
+			if !a.Failed() {
+				return // TSO execution, not the figure's crash scenario
+			}
+			if vy == 0 || vx == 0 {
+				// A died before its clflush took effect — a failure
+				// point before the figure's timeline starts.
+				preFlush++
+				return
+			}
+			xs[vx] = true
+			ys[vy] = true
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 2 (%d executions): with the clflush landed, post-crash x ∈ %v, y ∈ %v (%d executions died before the flush)\n",
+		res.Executions, sortedSet(xs), sortedSet(ys), preFlush)
+}
+
+// figure3 — same stores without the early clflush; after reading y the
+// second read of y must agree, and x is constrained to the matching
+// write-back window (consecutive-load consistency, §3.3).
+func figure3() {
+	pairs := map[[2]uint64]bool{}
+	res, err := cxlmc.Run(cxlmc.Config{}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		y := p.Alloc(8)
+		x := p.Alloc(8)
+		hb := p.AllocAligned(8, 64)
+		a.Thread("w", func(t *cxlmc.Thread) {
+			t.Store64(y, 1)
+			t.Store64(x, 2)
+			t.Store64(y, 3)
+			t.Store64(x, 4)
+			t.Store64(y, 5)
+			t.Store64(x, 6)
+			t.Store64(hb, 1)
+			t.CLFlush(hb)
+			t.SFence()
+		})
+		b.Thread("r", func(t *cxlmc.Thread) {
+			t.Join(a)
+			v1 := t.Load64(y)
+			v2 := t.Load64(y)
+			t.Assert(v1 == v2, "consecutive loads disagree: %d then %d", v1, v2)
+			vx := t.Load64(x) // may itself fail A
+			if a.Failed() {
+				pairs[[2]uint64{v1, vx}] = true
+			}
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Buggy() {
+		log.Fatalf("figure 3: %v", res.Bugs)
+	}
+	byY := map[uint64]map[uint64]bool{}
+	for k := range pairs {
+		if byY[k[0]] == nil {
+			byY[k[0]] = map[uint64]bool{}
+		}
+		byY[k[0]][k[1]] = true
+	}
+	fmt.Printf("Figure 3 (%d executions): consecutive y-loads always agree; post-crash windows:\n", res.Executions)
+	var yvals []uint64
+	for v := range byY {
+		yvals = append(yvals, v)
+	}
+	sort.Slice(yvals, func(i, j int) bool { return yvals[i] < yvals[j] })
+	for _, v := range yvals {
+		fmt.Printf("  y=%d ⇒ x ∈ %v\n", v, sortedSet(byY[v]))
+	}
+}
+
+// figure4 — machines A and B fail in turn; per-machine constraints mean
+// B's flushed y=5 permanently overwrites A's y-stores while A's x-stores
+// remain unconstrained all the way down to the initial value.
+func figure4() {
+	xs, ys := map[uint64]bool{}, map[uint64]bool{}
+	res, err := cxlmc.Run(cxlmc.Config{}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		c := p.NewMachine("C")
+		y := p.Alloc(8)
+		x := p.Alloc(8)
+		done := p.AllocAligned(8, 64)
+		hb := p.AllocAligned(8, 64)
+		a.Thread("w", func(t *cxlmc.Thread) {
+			t.Store64(y, 1)
+			t.Store64(x, 2)
+			t.Store64(y, 3)
+			t.Store64(x, 4)
+			t.Store64(hb, 1)
+			t.CLFlush(hb)
+			t.SFence()
+		})
+		b.Thread("w", func(t *cxlmc.Thread) {
+			t.Join(a)
+			t.Store64(y, 5)
+			t.CLFlush(y)
+			t.SFence()
+			// A flushed marker proving the y-flush landed (its flush
+			// committing implies the earlier one did).
+			t.Store64(done, 1)
+			t.CLFlush(done)
+			t.SFence()
+		})
+		c.Thread("r", func(t *cxlmc.Thread) {
+			t.Join(a)
+			t.Join(b)
+			vx := t.Load64(x)
+			vy := t.Load64(y)
+			landed := t.Load64(done) == 1
+			if !a.Failed() || !b.Failed() {
+				return
+			}
+			xs[vx] = true
+			if landed {
+				// The figure's scenario: B failed after its clflush.
+				t.Assert(vy == 5, "y = %d despite B's landed clflush", vy)
+				ys[vy] = true
+			}
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Buggy() {
+		log.Fatalf("figure 4: %v", res.Bugs)
+	}
+	fmt.Printf("Figure 4 (%d executions): after A and B both fail, x ∈ %v (A never flushed), y ∈ %v (B's landed clflush persisted y=5)\n",
+		res.Executions, sortedSet(xs), sortedSet(ys))
+}
+
+func main() {
+	figure2()
+	figure3()
+	figure4()
+}

@@ -1,0 +1,145 @@
+// Kvstore: a key-value store on CXL shared memory that survives partial
+// failures, demonstrating the failure-aware mutex API (paper §5): when a
+// machine dies holding the store's lock, the next owner learns about it
+// and replays the store's intent journal before trusting the data.
+//
+// Each entry keeps a value and a checksum on different cache lines, so
+// an update is inherently non-atomic: value and checksum can persist
+// independently when the writer's machine dies mid-update. A flushed
+// intent journal plus lock-API recovery makes updates failure atomic;
+// ignoring the owner-failed signal (the "no recovery" variant) lets the
+// checker expose the broken invariant.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cxlmc "repro"
+)
+
+const tableSlots = 4
+
+// store layout: a journal line, a key line, a value line and a checksum
+// line. The invariant is sum[i] == val[i]+1 for every present key.
+type store struct {
+	mu      *cxlmc.Mutex
+	journal cxlmc.Addr // [0] state (1 = pending), [8] key, [16] val
+	keys    cxlmc.Addr
+	vals    cxlmc.Addr
+	sums    cxlmc.Addr
+}
+
+func newStore(p *cxlmc.Program) *store {
+	return &store{
+		mu:      p.NewMutex("kv"),
+		journal: p.AllocAligned(64, 64),
+		keys:    p.AllocAligned(tableSlots*8, 64),
+		vals:    p.AllocAligned(tableSlots*8, 64),
+		sums:    p.AllocAligned(tableSlots*8, 64),
+	}
+}
+
+func slot(key uint64) cxlmc.Addr { return cxlmc.Addr(key % tableSlots * 8) }
+
+// put journals the update, applies it, and clears the journal.
+func (s *store) put(t *cxlmc.Thread, key, val uint64, useRecovery bool) {
+	ownerFailed := s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if ownerFailed && useRecovery {
+		s.recover(t)
+	}
+
+	t.Store64(s.journal+8, key)
+	t.Store64(s.journal+16, val)
+	t.Store64(s.journal, 1)
+	t.CLFlush(s.journal)
+	t.SFence()
+
+	s.apply(t, key, val)
+
+	t.Store64(s.journal, 0)
+	t.CLFlush(s.journal)
+	t.SFence()
+}
+
+// apply writes the multi-line entry with flushes. Value and checksum
+// live on different lines: without the journal, a crash in between
+// persists one and loses the other.
+func (s *store) apply(t *cxlmc.Thread, key, val uint64) {
+	t.Store64(s.vals+slot(key), val)
+	t.CLFlush(s.vals + slot(key))
+	t.SFence()
+	t.Store64(s.sums+slot(key), val+1)
+	t.CLFlush(s.sums + slot(key))
+	t.SFence()
+	t.Store64(s.keys+slot(key), key)
+	t.CLFlush(s.keys + slot(key))
+	t.SFence()
+}
+
+// recover replays a pending journaled update left by a failed owner.
+func (s *store) recover(t *cxlmc.Thread) {
+	if t.Load64(s.journal) != 1 {
+		return
+	}
+	s.apply(t, t.Load64(s.journal+8), t.Load64(s.journal+16))
+	t.Store64(s.journal, 0)
+	t.CLFlush(s.journal)
+	t.SFence()
+}
+
+// get returns the value for key if present, checking the checksum
+// invariant.
+func (s *store) get(t *cxlmc.Thread, key uint64, useRecovery bool) (uint64, bool) {
+	ownerFailed := s.mu.Lock(t)
+	defer s.mu.Unlock(t)
+	if ownerFailed && useRecovery {
+		s.recover(t)
+	}
+	if t.Load64(s.keys+slot(key)) != key {
+		return 0, false
+	}
+	val := t.Load64(s.vals + slot(key))
+	sum := t.Load64(s.sums + slot(key))
+	t.Assert(sum == val+1, "key %d: torn entry (val %d, checksum %d) — crashed update exposed", key, val, sum)
+	return val, true
+}
+
+func program(useRecovery bool) func(*cxlmc.Program) {
+	return func(p *cxlmc.Program) {
+		s := newStore(p)
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		a.Thread("writer", func(t *cxlmc.Thread) {
+			s.put(t, 1, 100, useRecovery)
+			s.put(t, 1, 111, useRecovery) // the update that can tear
+		})
+		b.Thread("reader", func(t *cxlmc.Thread) {
+			t.Join(a)
+			if v, ok := s.get(t, 1, useRecovery); ok {
+				t.Assert(v == 100 || v == 111, "key 1: impossible value %d", v)
+			}
+		})
+	}
+}
+
+func main() {
+	for _, useRecovery := range []bool{true, false} {
+		res, err := cxlmc.Run(cxlmc.Config{}, program(useRecovery))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("useRecovery=%-5v %5d executions, %3d failure points, %v\n",
+			useRecovery, res.Executions, res.FailurePoints, res.Elapsed)
+		if res.Buggy() {
+			for _, bug := range res.Bugs {
+				fmt.Printf("  found: %s\n", bug)
+			}
+		} else {
+			fmt.Println("  lock-API recovery keeps every partial-failure execution consistent")
+		}
+	}
+}

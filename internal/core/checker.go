@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/decision"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+)
+
+// Checker holds the exploration state across executions (decision tree,
+// statistics, distinct bugs) and the per-execution simulation state
+// (memory, scheduler, machines, threads).
+type Checker struct {
+	cfg     Config
+	program func(*Program)
+	tree    *decision.Tree
+	stats   Stats
+	bugs    []Bug
+	seen    map[string]bool
+
+	// Per-execution state, rebuilt by resetExecution.
+	mem      *memmodel.Memory
+	sch      *sched.Scheduler
+	rng      *rand.Rand
+	machines []*Machine
+	threads  []*Thread
+	mutexes  []*Mutex
+	failed   memmodel.FailSet
+	heapNext Addr
+	current  *Thread // thread holding the baton, nil in scheduler context
+	aborted  bool    // current execution ended early (bug)
+	poisoned map[memmodel.LineID]bool
+	// traceLog is the current execution's event ring when CaptureTrace
+	// is on.
+	traceLog []string
+}
+
+// Run explores the program under cfg and returns the aggregated result.
+// program is invoked once per execution to (re)build machines, threads
+// and initial memory.
+func Run(cfg Config, program func(*Program)) (result *Result, err error) {
+	if program == nil {
+		return nil, setupError{"nil program"}
+	}
+	cfg.fillDefaults()
+	ck := &Checker{
+		cfg:     cfg,
+		program: program,
+		tree:    decision.NewTree(),
+		seen:    make(map[string]bool),
+	}
+	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			if se, ok := v.(setupError); ok {
+				err = se
+				return
+			}
+			panic(v)
+		}
+	}()
+	for {
+		ck.tree.Begin()
+		ck.stats.Executions++
+		ck.runOneExecution()
+		foundBug := ck.aborted
+		if foundBug && !cfg.ContinueAfterBug {
+			break
+		}
+		if !ck.tree.Advance() {
+			ck.stats.Complete = true
+			break
+		}
+		if cfg.MaxExecutions > 0 && ck.stats.Executions >= cfg.MaxExecutions {
+			break
+		}
+		if cfg.MaxTime > 0 && time.Since(start) > cfg.MaxTime {
+			break
+		}
+	}
+	ck.stats.FailurePoints = ck.tree.Created(decision.KindFailure)
+	ck.stats.ReadFromPoints = ck.tree.Created(decision.KindReadFrom)
+	ck.stats.PoisonPoints = ck.tree.Created(decision.KindPoison)
+	ck.stats.Elapsed = time.Since(start)
+	return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
+}
+
+// resetExecution rebuilds all per-execution state and re-runs program
+// setup.
+func (ck *Checker) resetExecution() {
+	ck.mem = memmodel.NewMemory()
+	ck.sch = sched.New()
+	ck.sch.OnPanic = ck.onThreadPanic
+	ck.rng = rand.New(rand.NewSource(ck.cfg.Seed))
+	ck.machines = nil
+	ck.threads = nil
+	ck.mutexes = nil
+	ck.failed = 0
+	ck.heapNext = heapBase
+	ck.current = nil
+	ck.aborted = false
+	ck.poisoned = make(map[memmodel.LineID]bool)
+	ck.traceLog = ck.traceLog[:0]
+
+	defer func() {
+		if v := recover(); v != nil {
+			panic(setupError{v})
+		}
+	}()
+	ck.program(&Program{ck: ck})
+}
+
+// runOneExecution executes the program once, driving threads and buffer
+// commits under the seeded schedule until nothing can make progress.
+func (ck *Checker) runOneExecution() {
+	ck.resetExecution()
+	defer ck.sch.Teardown()
+
+	steps := 0
+	for !ck.aborted {
+		steps++
+		ck.stats.Steps++
+		if steps > ck.cfg.MaxStepsPerExec {
+			ck.reportBug(BugDeadlock, fmt.Sprintf("step limit exceeded (%d): livelock in checked program?", ck.cfg.MaxStepsPerExec), nil)
+			return
+		}
+
+		runnable := ck.runnableThreads()
+		committable := ck.committableBuffers()
+		switch {
+		case len(runnable) == 0 && len(committable) == 0:
+			if blocked := ck.liveBlockedThreads(); len(blocked) > 0 {
+				names := ""
+				for _, t := range blocked {
+					names += fmt.Sprintf(" %s/%s(%s)", t.mach.name, t.name, t.st.BlockNote)
+				}
+				ck.reportBug(BugDeadlock, "deadlock: all live threads blocked:"+names, nil)
+			}
+			return
+		case len(runnable) == 0:
+			ck.commitOne(committable)
+		case len(committable) == 0:
+			ck.grantOne(runnable)
+		default:
+			if ck.rng.Intn(100) < ck.cfg.CommitChance {
+				ck.commitOne(committable)
+			} else {
+				ck.grantOne(runnable)
+			}
+		}
+	}
+}
+
+// runnableThreads returns live, runnable simulated threads in creation
+// order.
+func (ck *Checker) runnableThreads() []*Thread {
+	var out []*Thread
+	for _, t := range ck.threads {
+		if !t.mach.failed && t.st.State() == sched.Runnable {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// liveBlockedThreads returns blocked threads on live machines.
+func (ck *Checker) liveBlockedThreads() []*Thread {
+	var out []*Thread
+	for _, t := range ck.threads {
+		if !t.mach.failed && t.st.State() == sched.Blocked {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// commitTarget identifies one pending buffer head: thread t's store
+// buffer (fb=false) or flush buffer (fb=true).
+type commitTarget struct {
+	t  *Thread
+	fb bool
+}
+
+// committableBuffers lists every buffer head that could take effect on
+// the cache now, in deterministic order.
+func (ck *Checker) committableBuffers() []commitTarget {
+	var out []commitTarget
+	for _, t := range ck.threads {
+		if t.mach.failed {
+			continue
+		}
+		if len(t.tb.SB) > 0 {
+			out = append(out, commitTarget{t, false})
+		}
+		if len(t.tb.FB) > 0 {
+			out = append(out, commitTarget{t, true})
+		}
+	}
+	return out
+}
+
+// grantOne hands the baton to a seeded-random runnable thread, then
+// processes completion wakeups.
+func (ck *Checker) grantOne(runnable []*Thread) {
+	t := runnable[ck.rng.Intn(len(runnable))]
+	ck.current = t
+	ck.sch.Grant(t.st)
+	ck.current = nil
+	if t.quiesced() {
+		ck.wakeJoiners(t.mach)
+	}
+}
+
+// commitOne commits one buffer head chosen by the seeded schedule.
+func (ck *Checker) commitOne(cands []commitTarget) {
+	c := cands[ck.rng.Intn(len(cands))]
+	if c.fb {
+		ck.commitFBHead(c.t)
+	} else {
+		ck.commitSBHead(c.t)
+	}
+	if c.t.quiesced() {
+		ck.wakeJoiners(c.t.mach)
+	}
+}
+
+// quiesced reports whether the thread has finished and drained its
+// buffers: the unit of progress Join and JoinThreads wait for.
+func (t *Thread) quiesced() bool {
+	return t.st.State() == sched.Finished && t.tb.Empty()
+}
+
+// quiesced reports whether every thread of m has finished AND drained its
+// buffers: the state a remote failure detector would observe as "machine
+// done". Join waits for quiescence so that observers never race with the
+// tail of the machine's store buffer (which drains in nanoseconds, while
+// failure/termination detection takes milliseconds).
+func (m *Machine) quiesced() bool {
+	for _, t := range m.threads {
+		if !t.quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+func (ck *Checker) wakeJoiners(m *Machine) {
+	for _, w := range m.joiners {
+		w.st.Wake()
+	}
+	m.joiners = nil
+}
+
+// failMachine fails machine m: its threads stop, its buffered stores are
+// lost, its mutexes are force-released, and (in GPF mode) its cached
+// stores are written back in full. If the currently running thread
+// belongs to m, the call unwinds it and does not return.
+func (ck *Checker) failMachine(m *Machine, why string) {
+	if m.failed {
+		return
+	}
+	m.failed = true
+	ck.failed = ck.failed.With(m.id)
+	ck.tracef("FAIL machine %s: %s", m.name, why)
+	if ck.cfg.GPF {
+		ck.mem.PersistAll(m.id)
+	}
+	var self *Thread
+	for _, t := range m.threads {
+		t.tb.Discard()
+		if t == ck.current {
+			self = t
+			continue
+		}
+		t.st.Kill()
+	}
+	for _, mu := range ck.mutexes {
+		if mu.owner != nil && mu.owner.mach == m {
+			mu.forceRelease()
+		}
+	}
+	ck.wakeJoiners(m)
+	if self != nil {
+		self.st.KillSelf()
+	}
+}
+
+// onThreadPanic converts a Go panic escaping benchmark code into a bug
+// report (e.g. a division by zero — the class of Table 4's bug 2).
+func (ck *Checker) onThreadPanic(st *sched.Thread, v any) {
+	var t *Thread
+	for _, c := range ck.threads {
+		if c.st == st {
+			t = c
+			break
+		}
+	}
+	ck.reportBug(BugPanic, fmt.Sprintf("runtime panic in benchmark code: %v", v), t)
+}
+
+// reportBug records a bug (deduplicated by kind+message across the whole
+// exploration) and aborts the current execution.
+func (ck *Checker) reportBug(kind BugKind, msg string, t *Thread) {
+	ck.aborted = true
+	key := kind.String() + ":" + msg
+	if ck.seen[key] {
+		return
+	}
+	ck.seen[key] = true
+	b := Bug{Kind: kind, Message: msg, Execution: ck.stats.Executions}
+	if t != nil {
+		b.Machine = t.mach.name
+		b.Thread = t.name
+	}
+	if ck.cfg.CaptureTrace {
+		b.Trace = append([]string(nil), ck.traceLog...)
+	}
+	ck.bugs = append(ck.bugs, b)
+	ck.tracef("BUG %s", b)
+}
+
+// reportBugHere reports a bug attributed to the currently running thread
+// and, when called from thread context, unwinds that thread so the buggy
+// operation never completes.
+func (ck *Checker) reportBugHere(kind BugKind, msg string) {
+	t := ck.current
+	ck.reportBug(kind, msg, t)
+	if t != nil {
+		t.st.KillSelf()
+	}
+}
+
+func (ck *Checker) tracef(format string, args ...any) {
+	if ck.cfg.Trace == nil && !ck.cfg.CaptureTrace {
+		return
+	}
+	line := fmt.Sprintf("σ%-6d "+format, append([]any{ck.mem.Seq()}, args...)...)
+	if ck.cfg.Trace != nil {
+		fmt.Fprintln(ck.cfg.Trace, line)
+	}
+	if ck.cfg.CaptureTrace {
+		if len(ck.traceLog) >= ck.cfg.TraceDepth {
+			copy(ck.traceLog, ck.traceLog[1:])
+			ck.traceLog = ck.traceLog[:len(ck.traceLog)-1]
+		}
+		ck.traceLog = append(ck.traceLog, line)
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements the CXLMC model checker: exhaustive exploration
+// of the crashing executions of simulated CXL shared-memory programs
+// (paper §3–§5).
+//
+// A program is a set of simulated machines, each running one or more
+// threads against a shared, simulated CXL memory region with x86-TSO
+// semantics plus clflush/clflushopt/sfence/mfence. The checker repeatedly
+// re-executes the program under a deterministic schedule, exploring a
+// decision tree whose branch points are
+//
+//   - which store each post-failure load reads from (cache-line
+//     constraint refinement, Algorithms 3–4, lazily per §4.5), and
+//   - whether a machine fails instead of committing a flush that would
+//     narrow future post-failure read results (Algorithm 5, line 16).
+//
+// Machines fail independently and failed machines lose exactly the
+// contents of their own caches (unless GPF mode is enabled, §6.2).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/memmodel"
+)
+
+// Addr is a byte address in the simulated CXL region (0 is the null
+// pointer; dereferencing it is reported as a segmentation fault).
+type Addr = memmodel.Addr
+
+// MachineID identifies a simulated compute node.
+type MachineID = memmodel.MachineID
+
+// Config controls a model-checking run.
+type Config struct {
+	// Seed fixes the thread schedule and store-buffer commit timing.
+	// CXLMC model checks crash non-determinism only (§3.2); different
+	// seeds explore different interleavings, fuzzing-style (§4.6).
+	Seed int64
+
+	// GPF simulates an always-successful Global Persistent Flush: a
+	// failing machine's cache is written back in full, so executions
+	// follow plain TSO even across failures (§6.2). Failures are still
+	// injected at the same points.
+	GPF bool
+
+	// Poison enables the CXL memory-poisoning failure model (§4.2 side
+	// note): reading a cache line whose latest store by a failed machine
+	// may have been lost raises a poison error instead of returning stale
+	// data. Off by default, as in the paper's evaluation.
+	Poison bool
+
+	// MaxExecutions bounds the exploration; 0 means unlimited (explore
+	// the full decision tree).
+	MaxExecutions int
+
+	// MaxTime bounds the exploration's wall-clock time; 0 means
+	// unlimited. The run stops after the first execution that exceeds
+	// the budget (Complete stays false).
+	MaxTime time.Duration
+
+	// MaxStepsPerExec guards against runaway executions (livelock in the
+	// checked program); 0 means the default of 2,000,000.
+	MaxStepsPerExec int
+
+	// ContinueAfterBug keeps exploring after the first bug (deduplicated
+	// by message). The paper's tool stops at the first bug, which is the
+	// default.
+	ContinueAfterBug bool
+
+	// MemSize is the size of the simulated CXL region in bytes; 0 means
+	// the default of 16 MiB.
+	MemSize uint64
+
+	// CommitChance is the percentage chance (0–100) that a scheduler step
+	// drains a buffered store/flush instead of running a thread, when
+	// both are possible. It shapes the TSO reordering window; 0 means the
+	// default of 25.
+	CommitChance int
+
+	// EagerReadSet disables the paper's §4.5 optimization: loads
+	// materialize the full Algorithm 3 read-from set (with per-candidate
+	// failure sets) and branch n-ary over it, instead of searching
+	// lazily with binary decision points. Exploration is equivalent;
+	// only the cost per load differs. Exists for the ablation benchmark.
+	EagerReadSet bool
+
+	// Trace, when non-nil, receives a line per simulated event — loads,
+	// stores, flushes, failures, bug reports. For debugging small
+	// programs only; it grows quickly.
+	Trace io.Writer
+
+	// CaptureTrace records the buggy execution's recent events (up to
+	// TraceDepth lines) into Bug.Trace, so a report shows how the
+	// failure state was reached without re-running with Trace.
+	CaptureTrace bool
+
+	// TraceDepth bounds the captured trace; 0 means the default of 256
+	// lines.
+	TraceDepth int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxStepsPerExec == 0 {
+		c.MaxStepsPerExec = 2_000_000
+	}
+	if c.MemSize == 0 {
+		c.MemSize = 16 << 20
+	}
+	if c.CommitChance <= 0 {
+		c.CommitChance = 25
+	}
+	if c.CommitChance > 99 {
+		// Leave a residual chance of running threads or the scheduler
+		// could starve programs whose buffers never empty.
+		c.CommitChance = 99
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = 256
+	}
+}
+
+// BugKind classifies a reported bug.
+type BugKind uint8
+
+// Bug kinds.
+const (
+	// BugAssertion is a failed Thread.Assert.
+	BugAssertion BugKind = iota
+	// BugSegfault is an access to unallocated simulated memory (the
+	// analogue of the segmentation faults the paper's missing-flush bugs
+	// produce).
+	BugSegfault
+	// BugPanic is a Go runtime panic escaping benchmark code (e.g.
+	// division by zero — Table 4 bug 2's class).
+	BugPanic
+	// BugDeadlock means no thread can make progress.
+	BugDeadlock
+	// BugPoison is a read of a poisoned cache line (Poison mode).
+	BugPoison
+)
+
+func (k BugKind) String() string {
+	switch k {
+	case BugAssertion:
+		return "assertion"
+	case BugSegfault:
+		return "segfault"
+	case BugPanic:
+		return "panic"
+	case BugDeadlock:
+		return "deadlock"
+	case BugPoison:
+		return "poison"
+	}
+	return "unknown"
+}
+
+// Bug is one distinct bug found during exploration.
+type Bug struct {
+	Kind      BugKind
+	Message   string
+	Execution int    // 1-based execution index where first found
+	Machine   string // machine name of the reporting thread, if any
+	Thread    string // thread name, if any
+	// Trace holds the buggy execution's most recent events when
+	// Config.CaptureTrace was set.
+	Trace []string
+}
+
+func (b Bug) String() string {
+	return fmt.Sprintf("[%s] %s (execution %d, machine %q, thread %q)",
+		b.Kind, b.Message, b.Execution, b.Machine, b.Thread)
+}
+
+// Stats aggregates exploration statistics — the quantities Table 5 of the
+// paper reports.
+type Stats struct {
+	// Executions is the number of program executions explored (#Execs).
+	Executions int
+	// FailurePoints is the number of failure-injection decision points
+	// created (#FPoints).
+	FailurePoints int
+	// ReadFromPoints is the number of read-from decision points created.
+	ReadFromPoints int
+	// PoisonPoints is the number of poison decision points created.
+	PoisonPoints int
+	// Steps is the total number of scheduler steps across all executions.
+	Steps int64
+	// Elapsed is the wall-clock time of the whole exploration.
+	Elapsed time.Duration
+	// Complete reports whether the decision tree was fully explored
+	// (false when MaxExecutions stopped the run or a bug aborted it).
+	Complete bool
+}
+
+// Result is the outcome of a model-checking run.
+type Result struct {
+	Stats
+	Bugs []Bug
+	Seed int64
+	GPF  bool
+}
+
+// Buggy reports whether any bug was found.
+func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
+
+// setupError wraps a panic raised during program setup (outside any
+// simulated thread), which indicates misuse of the API rather than a bug
+// in the checked program.
+type setupError struct{ v any }
+
+func (e setupError) Error() string { return fmt.Sprintf("cxlmc: program setup failed: %v", e.v) }

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decision"
+	"repro/internal/memmodel"
+)
+
+// This file contains the checker-side memory machinery: committing buffer
+// heads (with failure injection per Algorithm 5, line 16), and the load
+// path (lazy read-from search per §4.5, DoRead per Algorithm 4, optional
+// memory poisoning per the §4.2 side note).
+
+// commitSBHead commits the head of t's store buffer. It may run in
+// scheduler context (spontaneous drain) or in thread context (mfence).
+func (ck *Checker) commitSBHead(t *Thread) {
+	h := t.tb.Head()
+	if h == nil {
+		return
+	}
+	switch h.Kind {
+	case memmodel.SBStore:
+		st := ck.mem.CommitStore(t.tb, t.mach.id)
+		ck.tracef("commit store [%#x]=%d (σ%d) by %s/%s", st.Addr, st.Val, st.Seq, t.mach.name, t.name)
+	case memmodel.SBClflush:
+		eff := ck.mem.PreviewClflush(t.tb, t.mach.id)
+		if ck.maybeInjectFailure(t, eff) {
+			return
+		}
+		eff = ck.mem.CommitClflush(t.tb, t.mach.id)
+		ck.tracef("commit clflush line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+	case memmodel.SBClflushopt:
+		ck.mem.CommitClflushopt(t.tb)
+	case memmodel.SBSfence:
+		ck.mem.CommitSfence(t.tb)
+		ck.drainFB(t)
+	}
+}
+
+// commitFBHead lets the head of t's flush buffer take effect, with
+// failure injection.
+func (ck *Checker) commitFBHead(t *Thread) {
+	eff := ck.mem.PreviewFB(t.tb, t.mach.id)
+	if ck.maybeInjectFailure(t, eff) {
+		return
+	}
+	eff = ck.mem.CommitFB(t.tb, t.mach.id)
+	ck.tracef("commit clflushopt line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+}
+
+// drainFB empties t's flush buffer (sfence/mfence semantics). If a
+// failure is injected mid-drain in scheduler context the machine's
+// buffers are already discarded and the loop ends.
+func (ck *Checker) drainFB(t *Thread) {
+	for len(t.tb.FB) > 0 && !t.mach.failed {
+		ck.commitFBHead(t)
+	}
+}
+
+// maybeInjectFailure implements the failure-injection policy of
+// Algorithm 5 line 16: when a flush would raise a cache-line constraint
+// Begin past a store from a live machine — reducing the set of possible
+// post-failure load results — the checker explores both committing the
+// flush and failing the machine instead. Returns true when the flush must
+// not be applied (machine failed). If t is the currently running thread,
+// the failure branch unwinds it and does not return.
+func (ck *Checker) maybeInjectFailure(t *Thread, eff memmodel.FlushEffect) bool {
+	if t.mach.failed {
+		return true
+	}
+	if !ck.mem.CrossesLiveStore(eff) {
+		return false
+	}
+	if ck.tree.Choose(decision.KindFailure, 2) == 1 {
+		ck.failMachine(t.mach, fmt.Sprintf("injected instead of flush of line %d", eff.Line))
+		return true
+	}
+	return false
+}
+
+// execMFence implements mfence (and the fence halves of locked RMW
+// instructions): every buffered instruction of the thread takes effect
+// immediately, in order. Runs in thread context; an injected failure of
+// the thread's own machine unwinds it.
+func (ck *Checker) execMFence(t *Thread) {
+	for len(t.tb.SB) > 0 {
+		ck.commitSBHead(t)
+	}
+	ck.drainFB(t)
+}
+
+// load performs a size-byte load at a for thread t, resolving each byte
+// through local bypass or the lazy read-from search with binary decision
+// points (§4.5). Values are little-endian.
+func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
+	ck.checkRange(a, uint64(size))
+	rc := &memmodel.ReadContext{Mem: ck.mem, Curr: t.mach.id, Failed: ck.failed, GPF: ck.cfg.GPF}
+	var val uint64
+	for i := 0; i < int(size); i++ {
+		b := a + Addr(i)
+		if v, ok := t.tb.BypassByte(b); ok {
+			val |= uint64(v) << (8 * i)
+			continue
+		}
+		if ck.cfg.Poison {
+			ck.poisonCheck(t, b)
+		}
+		c := ck.chooseCandidate(rc, b)
+		for _, mid := range c.Fail.Diff(ck.failed).Machines() {
+			ck.failMachine(ck.machines[mid], fmt.Sprintf("required for %s/%s to read σ%d at %#x", t.mach.name, t.name, c.Seq, b))
+		}
+		rc.Failed = ck.failed
+		rc.ApplyReadConstraint(b, c, ck.failed.Has(c.Machine))
+		val |= uint64(c.Val) << (8 * i)
+	}
+	ck.tracef("load [%#x]×%d = %d by %s/%s", a, size, val, t.mach.name, t.name)
+	return val
+}
+
+// chooseCandidate walks the lazy candidate enumeration newest-first,
+// placing one binary decision point per non-final candidate: take it, or
+// keep searching (§4.5). The final candidate is forced.
+//
+// With Config.EagerReadSet the full Algorithm 3 set is materialized
+// instead and the choice is one n-ary decision point — the
+// pre-optimization behaviour, kept for the ablation benchmark.
+func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Candidate {
+	if ck.cfg.EagerReadSet {
+		r := rc.BuildMayReadFrom(b)
+		if len(r) == 0 {
+			panic("cxlmc: empty read-from set (checker invariant violated)")
+		}
+		if len(r) == 1 {
+			return r[0]
+		}
+		return r[ck.tree.Choose(decision.KindReadFrom, len(r))]
+	}
+	it := rc.Candidates(b)
+	c, ok := it.Next()
+	if !ok {
+		panic("cxlmc: empty read-from set (checker invariant violated)")
+	}
+	for it.HasMore() {
+		if ck.tree.Choose(decision.KindReadFrom, 2) == 0 {
+			return c
+		}
+		c, _ = it.Next()
+	}
+	return c
+}
+
+// poisonCheck implements the memory-poisoning option (§4.2 side note):
+// before byte b is read from the cache, decide whether its line is
+// poisoned because the latest store to the line, by a failed machine, was
+// lost. Reading a poisoned line raises a runtime exception.
+func (ck *Checker) poisonCheck(t *Thread, b Addr) {
+	ln := memmodel.LineOf(b)
+	if ck.poisoned[ln] {
+		ck.reportBugHere(BugPoison, fmt.Sprintf("read of poisoned cache line %d at %#x", ln, b))
+		return
+	}
+	stores := ck.mem.StoresOn(ln)
+	if len(stores) == 0 {
+		return
+	}
+	s := stores[len(stores)-1]
+	if !ck.failed.Has(s.Machine) {
+		return
+	}
+	c := ck.mem.Constraint(s.Machine, ln)
+	switch {
+	case s.Seq >= c.End:
+		// The last store was definitely lost: the line must be poisoned.
+		ck.poisoned[ln] = true
+		ck.reportBugHere(BugPoison, fmt.Sprintf("read of poisoned cache line %d at %#x (store σ%d lost)", ln, b, s.Seq))
+	case s.Seq > c.Begin:
+		// In doubt: branch on whether the write-back covered it.
+		if ck.tree.Choose(decision.KindPoison, 2) == 1 {
+			ck.mem.LowerEnd(s.Machine, ln, s.Seq)
+			ck.poisoned[ln] = true
+			ck.reportBugHere(BugPoison, fmt.Sprintf("read of poisoned cache line %d at %#x (store σ%d chosen lost)", ln, b, s.Seq))
+		} else {
+			ck.mem.RaiseBegin(s.Machine, ln, s.Seq)
+		}
+	}
+}
+
+// store enqueues a size-byte store at a into t's store buffer, splitting
+// at cache-line boundaries: an x86 store crossing a line boundary is not
+// atomic, and each piece reaches — and persists from — its own line
+// independently. This is what makes misaligned-object bugs (Table 3 #4
+// and #12) observable.
+func (ck *Checker) store(t *Thread, a Addr, size uint8, val uint64) {
+	ck.checkRange(a, uint64(size))
+	ck.tracef("exec store [%#x]×%d=%d by %s/%s", a, size, val, t.mach.name, t.name)
+	for size > 0 {
+		lineEnd := memmodel.LineBase(memmodel.LineOf(a)) + memmodel.LineSize
+		chunk := size
+		if rem := uint64(lineEnd - a); uint64(chunk) > rem {
+			chunk = uint8(rem)
+		}
+		mask := ^uint64(0)
+		if chunk < 8 {
+			mask = (1 << (8 * uint64(chunk))) - 1
+		}
+		t.tb.ExecStore(a, chunk, val&mask)
+		a += Addr(chunk)
+		if chunk < 8 {
+			val >>= 8 * uint64(chunk)
+		}
+		size -= chunk
+	}
+}
+
+// rmw implements x86 locked read-modify-write instructions (§4.4): the
+// atomic sequence mfence; load; store; mfence. fn maps the loaded value
+// to (newValue, doStore).
+func (ck *Checker) rmw(t *Thread, a Addr, size uint8, fn func(cur uint64) (uint64, bool)) uint64 {
+	ck.checkRange(a, uint64(size))
+	if uint64(a)%uint64(size) != 0 {
+		panic(fmt.Sprintf("cxlmc: misaligned atomic at %#x size %d", a, size))
+	}
+	ck.execMFence(t)
+	cur := ck.load(t, a, size)
+	if nv, doStore := fn(cur); doStore {
+		st := ck.mem.CommitDirectStore(t.tb, t.mach.id, a, size, nv)
+		ck.tracef("rmw store [%#x]=%d (σ%d) by %s/%s", a, nv, st.Seq, t.mach.name, t.name)
+	}
+	ck.execMFence(t)
+	return cur
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+)
+
+// Program is the handle setup code uses to describe one execution of the
+// checked program: the machines, their threads, shared-memory allocations
+// and synchronization objects. The setup function passed to Run is called
+// once per execution, so everything it creates is rebuilt from scratch
+// each time — exactly like re-running a real program.
+type Program struct {
+	ck *Checker
+}
+
+// Machine is a simulated compute node with an independent failure domain.
+type Machine struct {
+	ck      *Checker
+	id      MachineID
+	name    string
+	failed  bool
+	threads []*Thread
+	// joiners are threads blocked in Join on this machine.
+	joiners []*Thread
+}
+
+// NewMachine adds a compute node. At least two machines are typical: one
+// whose failures are explored and one that survives to observe the
+// post-failure memory.
+func (p *Program) NewMachine(name string) *Machine {
+	ck := p.ck
+	if len(ck.machines) >= memmodel.MaxMachines {
+		panic(fmt.Sprintf("cxlmc: too many machines (max %d)", memmodel.MaxMachines))
+	}
+	m := &Machine{ck: ck, id: MachineID(len(ck.machines)), name: name}
+	ck.machines = append(ck.machines, m)
+	return m
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// ID returns the machine's identifier.
+func (m *Machine) ID() MachineID { return m.id }
+
+// Threads returns the machine's threads in creation order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Failed reports whether the machine has failed. Benchmark code must not
+// call this to branch on failure state (real CXL nodes learn of failures
+// through the coordination layer); use Thread.Join or Mutex.OwnerFailed
+// instead. It is exported for harness assertions.
+func (m *Machine) Failed() bool { return m.failed }
+
+// Thread adds a simulated thread running fn on the machine. Threads are
+// scheduled deterministically under the run's seed.
+func (m *Machine) Thread(name string, fn func(*Thread)) *Thread {
+	ck := m.ck
+	t := &Thread{
+		ck:   ck,
+		mach: m,
+		name: name,
+		tb:   memmodel.NewThreadBuf(),
+	}
+	t.st = ck.sch.NewThread(int(m.id), name, func(*sched.Thread) { fn(t) })
+	m.threads = append(m.threads, t)
+	ck.threads = append(ck.threads, t)
+	return t
+}
+
+// Alloc carves size bytes out of the shared CXL region and returns its
+// base address. Setup-time allocations start zeroed and persisted (they
+// model the region's device-resident initial state). The result is
+// 8-byte aligned.
+func (p *Program) Alloc(size uint64) Addr {
+	return p.ck.alloc(size, 8)
+}
+
+// AllocAligned is Alloc with an explicit power-of-two alignment (e.g. 64
+// to force cache-line alignment, or 1 to allow objects to straddle cache
+// lines — the layout hazard behind Table 3 bugs #4 and #12).
+func (p *Program) AllocAligned(size, align uint64) Addr {
+	return p.ck.alloc(size, align)
+}
+
+// Init64 writes an initial 8-byte value at addr as device-resident
+// (already persisted) data — the state the region held before the checked
+// execution began. Use thread code, not Init64, for anything whose
+// crash consistency is being checked.
+func (p *Program) Init64(addr Addr, val uint64) {
+	p.ck.checkRange(addr, 8)
+	p.ck.mem.InitWrite(addr, 8, val)
+}
+
+// NewMutex creates a mutex with the paper's failure-aware semantics (§5):
+// when the owning thread's machine fails, the mutex is released
+// automatically and the next owner can ask whether it was acquired after
+// such a forced release.
+func (p *Program) NewMutex(name string) *Mutex {
+	mu := &Mutex{ck: p.ck, name: name}
+	p.ck.mutexes = append(p.ck.mutexes, mu)
+	return mu
+}
+
+// alloc bumps the shared-region allocator. Allocations are never reused
+// within an execution, which keeps post-crash dangling pointers
+// detectable.
+func (ck *Checker) alloc(size, align uint64) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("cxlmc: alignment %d is not a power of two", align))
+	}
+	if size == 0 {
+		size = 1
+	}
+	next := (uint64(ck.heapNext) + align - 1) &^ (align - 1)
+	if next+size > ck.cfg.MemSize {
+		panic(fmt.Sprintf("cxlmc: simulated CXL region exhausted (%d bytes; raise Config.MemSize)", ck.cfg.MemSize))
+	}
+	ck.heapNext = Addr(next + size)
+	return Addr(next)
+}
+
+// checkRange verifies [a, a+size) lies within allocated memory; a
+// violation is the simulated analogue of a segmentation fault.
+func (ck *Checker) checkRange(a Addr, size uint64) {
+	if a < heapBase || uint64(a)+size > uint64(ck.heapNext) {
+		ck.reportBugHere(BugSegfault, fmt.Sprintf("segmentation fault: access to [%#x,%#x) outside allocated region [%#x,%#x)",
+			a, uint64(a)+size, heapBase, ck.heapNext))
+	}
+}
+
+// heapBase is the first allocatable address; everything below it is the
+// null page.
+const heapBase = Addr(memmodel.LineSize)

@@ -1,0 +1,211 @@
+package cxlshm
+
+import (
+	"testing"
+
+	cxlmc "repro"
+)
+
+func explore(t *testing.T, bugs Bug, prog func(Bug) func(*cxlmc.Program), gpf bool) *cxlmc.Result {
+	t.Helper()
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 200000, GPF: gpf}, prog(bugs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestKVFixedClean(t *testing.T) {
+	res := explore(t, 0, KVProgram, false)
+	if res.Buggy() {
+		t.Fatalf("fixed kv buggy: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestKVLeakDetected(t *testing.T) {
+	res := explore(t, BugKVUnimplementedFree, KVProgram, false)
+	if !res.Buggy() {
+		t.Fatal("kv leak not detected")
+	}
+	if res.Bugs[0].Kind != cxlmc.BugAssertion {
+		t.Fatalf("bug kind = %v", res.Bugs[0].Kind)
+	}
+}
+
+func TestKVLeakDetectedUnderGPF(t *testing.T) {
+	// §6.2: the CXL-SHM bugs are caused by unexpected partial failures
+	// during recovery, not cache loss — GPF mode still finds them.
+	res := explore(t, BugKVUnimplementedFree, KVProgram, true)
+	if !res.Buggy() {
+		t.Fatal("kv leak not detected under GPF")
+	}
+}
+
+func TestStressFixedClean(t *testing.T) {
+	res := explore(t, 0, StressProgram, false)
+	if res.Buggy() {
+		t.Fatalf("fixed stress buggy: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestStressDivideByZeroDetected(t *testing.T) {
+	res := explore(t, BugStaleMetaDivide, StressProgram, false)
+	if !res.Buggy() {
+		t.Fatal("divide-by-zero not detected")
+	}
+	if res.Bugs[0].Kind != cxlmc.BugPanic {
+		t.Fatalf("bug kind = %v (%s)", res.Bugs[0].Kind, res.Bugs[0].Message)
+	}
+}
+
+func TestStressDivideByZeroDetectedUnderGPF(t *testing.T) {
+	res := explore(t, BugStaleMetaDivide, StressProgram, true)
+	if !res.Buggy() {
+		t.Fatal("divide-by-zero not detected under GPF")
+	}
+	if res.Bugs[0].Kind != cxlmc.BugPanic {
+		t.Fatalf("bug kind = %v (%s)", res.Bugs[0].Kind, res.Bugs[0].Message)
+	}
+}
+
+func TestPoolFunctional(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 1}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		pool := NewPool(p, 0)
+		a.Thread("t", func(th *cxlmc.Thread) {
+			pool.Init(th)
+			pg := pool.Acquire(th, a.ID(), 32)
+			o1 := pool.AllocObj(th, pg)
+			o2 := pool.AllocObj(th, pg)
+			th.Assert(o2 == o1+32, "bump allocation broken: %#x %#x", o1, o2)
+			pool.FreeObj(th, pg)
+			pool.FreeObj(th, pg)
+			pool.Release(th, pg)
+			pg2 := pool.Acquire(th, a.ID(), 16)
+			th.Assert(pg2 == pg, "released page should be reused first")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+}
+
+func TestKVGetPut(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 1}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		pool := NewPool(p, 0)
+		kv := NewKV(p, pool, 4)
+		a.Thread("t", func(th *cxlmc.Thread) {
+			pool.Init(th)
+			kv.Init(th)
+			pg := pool.Acquire(th, a.ID(), 16)
+			kv.Put(th, pg, 1, 100)
+			kv.Put(th, pg, 2, 200)
+			v, ok := kv.Get(th, 1)
+			th.Assert(ok && v == 100, "get 1: %d %v", v, ok)
+			v, ok = kv.Get(th, 2)
+			th.Assert(ok && v == 200, "get 2: %d %v", v, ok)
+			_, ok = kv.Get(th, 3)
+			th.Assert(!ok, "phantom key")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+}
+
+func TestTransferProtocolCrashConsistent(t *testing.T) {
+	res := explore(t, 0, TransferProgram, false)
+	if res.Buggy() {
+		t.Fatalf("fixed transfer protocol buggy: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestTransferMissingStateFlushDetected(t *testing.T) {
+	res := explore(t, BugXferNoTransferFlush, TransferProgram, false)
+	if !res.Buggy() {
+		t.Fatal("missing transferring-mark flush not detected")
+	}
+}
+
+func TestTransferProtocolUnderGPF(t *testing.T) {
+	// Under GPF nothing is ever lost from caches, so even the buggy
+	// variant is clean: the hazard is purely a persistence-ordering one.
+	res := explore(t, BugXferNoTransferFlush, TransferProgram, true)
+	if res.Buggy() {
+		t.Fatalf("transfer bug visible under GPF: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}
+
+// TestTransferChainThreeMachines hands an object A→B→C with failures of
+// any subset explored; the exactly-one-owner invariant must hold for
+// every surviving observer.
+func TestTransferChainThreeMachines(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 2_000_000}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		c := p.NewMachine("C")
+		x := NewXfer(p, 1, 3, 0)
+		a.Thread("t", func(t *cxlmc.Thread) {
+			x.Acquire(t, a.ID(), 0, 7)
+			x.Send(t, a.ID(), b.ID(), 0)
+		})
+		b.Thread("t", func(t *cxlmc.Thread) {
+			t.Join(a)
+			if a.Failed() {
+				x.Recover(t, a.ID(), 3)
+			}
+			if _, ok := x.Receive(t, b.ID()); ok {
+				x.Send(t, b.ID(), c.ID(), 0)
+			}
+		})
+		c.Thread("t", func(t *cxlmc.Thread) {
+			t.Join(a)
+			t.Join(b)
+			if a.Failed() {
+				x.Recover(t, a.ID(), 3)
+			}
+			if b.Failed() {
+				x.Recover(t, b.ID(), 3)
+			}
+			x.Receive(t, c.ID())
+			x.CheckExactlyOneOwner(t, func(m cxlmc.MachineID) bool {
+				switch m {
+				case a.ID():
+					return !a.Failed()
+				case b.ID():
+					return !b.Failed()
+				default:
+					return !c.Failed()
+				}
+			}, 3)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buggy() {
+		t.Fatalf("chain transfer bugs: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}

@@ -1,0 +1,134 @@
+// Package decision implements the depth-first decision-tree search at the
+// heart of CXLMC's exploration (paper §5): every choice the checker makes
+// during an execution — which store a load reads from, whether a failure
+// is injected at a flush — is recorded in a node stack. Replaying an
+// execution consumes the stack; when execution runs past the recorded
+// prefix, fresh decision points default to their first branch and are
+// pushed. After an execution completes, Advance backtracks to the deepest
+// unexhausted node, and the next execution explores its next branch.
+package decision
+
+import "fmt"
+
+// Kind labels what a decision point chooses, for statistics and replay
+// validation.
+type Kind uint8
+
+// Decision point kinds.
+const (
+	// KindReadFrom chooses between taking the current read-from candidate
+	// and continuing the search (the binary encoding of §4.5).
+	KindReadFrom Kind = iota
+	// KindFailure chooses whether to inject a machine failure instead of
+	// letting a flush commit (Algorithm 5, line 16).
+	KindFailure
+	// KindPoison chooses whether a cache line whose latest store falls
+	// inside its constraint window becomes poisoned (§4.2 side note).
+	KindPoison
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReadFrom:
+		return "read-from"
+	case KindFailure:
+		return "failure-injection"
+	case KindPoison:
+		return "poison"
+	}
+	return "unknown"
+}
+
+type node struct {
+	kind   Kind
+	n      int // number of branches
+	chosen int // branch taken on the current path
+}
+
+// Tree is the decision tree explored across executions. It is not safe
+// for concurrent use; the checker's lock-step scheduling guarantees
+// single-threaded access.
+type Tree struct {
+	nodes   []node
+	depth   int // replay cursor within the current execution
+	created [numKinds]int
+	execs   int
+	done    bool
+}
+
+// NewTree returns an empty tree positioned before the first execution.
+func NewTree() *Tree { return &Tree{} }
+
+// Begin starts an execution: the replay cursor returns to the root.
+func (t *Tree) Begin() {
+	if t.done {
+		panic("decision: Begin after exhaustion")
+	}
+	t.depth = 0
+	t.execs++
+}
+
+// Choose resolves a decision point with n branches of the given kind,
+// returning the branch to take on the current path. Within the replayed
+// prefix it returns the recorded branch (validating kind and arity);
+// beyond it, it records a fresh node and returns branch 0.
+func (t *Tree) Choose(kind Kind, n int) int {
+	if n < 1 {
+		panic("decision: Choose with no branches")
+	}
+	if t.depth < len(t.nodes) {
+		nd := &t.nodes[t.depth]
+		if nd.kind != kind || nd.n != n {
+			// A divergent replay means the checker is not deterministic —
+			// a checker bug worth failing loudly on.
+			panic(fmt.Sprintf("decision: replay diverged at depth %d: recorded %v/%d, got %v/%d",
+				t.depth, nd.kind, nd.n, kind, n))
+		}
+		t.depth++
+		return nd.chosen
+	}
+	t.nodes = append(t.nodes, node{kind: kind, n: n})
+	t.created[kind]++
+	t.depth++
+	return 0
+}
+
+// Advance backtracks after a completed execution: nodes below the deepest
+// unexhausted decision are discarded and that decision moves to its next
+// branch. It returns false when the whole tree has been explored.
+func (t *Tree) Advance() bool {
+	if t.done {
+		return false
+	}
+	// Anything deeper than the replay cursor belongs to an abandoned
+	// subtree (possible when an execution was cut short by a bug) — but
+	// nodes past the cursor can only exist if the previous execution was
+	// shorter than its predecessor's recorded path, which Advance already
+	// trimmed. Trim defensively anyway.
+	t.nodes = t.nodes[:t.depth]
+	for len(t.nodes) > 0 {
+		last := &t.nodes[len(t.nodes)-1]
+		if last.chosen+1 < last.n {
+			last.chosen++
+			return true
+		}
+		t.nodes = t.nodes[:len(t.nodes)-1]
+	}
+	t.done = true
+	return false
+}
+
+// Executions returns the number of executions begun.
+func (t *Tree) Executions() int { return t.execs }
+
+// Created returns how many decision points of the given kind have been
+// created over the whole exploration.
+func (t *Tree) Created(kind Kind) int { return t.created[kind] }
+
+// Depth returns the replay cursor's current depth (decision points hit so
+// far in the current execution).
+func (t *Tree) Depth() int { return t.depth }
+
+// Done reports whether the tree is fully explored.
+func (t *Tree) Done() bool { return t.done }

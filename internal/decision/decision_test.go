@@ -1,0 +1,218 @@
+package decision
+
+import (
+	"reflect"
+	"testing"
+)
+
+// enumerate runs fn once per execution until the tree is exhausted,
+// returning every path's outcome.
+func enumerate(t *testing.T, tr *Tree, fn func() string) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < 1000; i++ {
+		tr.Begin()
+		out = append(out, fn())
+		if !tr.Advance() {
+			return out
+		}
+	}
+	t.Fatal("tree did not converge within 1000 executions")
+	return nil
+}
+
+func TestFullBinaryTreeEnumeration(t *testing.T) {
+	tr := NewTree()
+	paths := enumerate(t, tr, func() string {
+		s := ""
+		for i := 0; i < 3; i++ {
+			if tr.Choose(KindReadFrom, 2) == 0 {
+				s += "0"
+			} else {
+				s += "1"
+			}
+		}
+		return s
+	})
+	want := []string{"000", "001", "010", "011", "100", "101", "110", "111"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	if tr.Executions() != 8 {
+		t.Fatalf("executions = %d, want 8", tr.Executions())
+	}
+	if tr.Created(KindReadFrom) != 7 {
+		t.Fatalf("created = %d, want 7 (internal nodes of a depth-3 binary tree)", tr.Created(KindReadFrom))
+	}
+}
+
+func TestPathDependentShape(t *testing.T) {
+	// The second decision only exists on one branch of the first: the
+	// tree must explore exactly 3 leaves.
+	tr := NewTree()
+	paths := enumerate(t, tr, func() string {
+		if tr.Choose(KindFailure, 2) == 0 {
+			return "short"
+		}
+		if tr.Choose(KindReadFrom, 2) == 0 {
+			return "long0"
+		}
+		return "long1"
+	})
+	want := []string{"short", "long0", "long1"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestNaryChoice(t *testing.T) {
+	tr := NewTree()
+	paths := enumerate(t, tr, func() string {
+		return string(rune('a' + tr.Choose(KindPoison, 4)))
+	})
+	if !reflect.DeepEqual(paths, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestSingleBranchCreatesNoBacktracking(t *testing.T) {
+	tr := NewTree()
+	paths := enumerate(t, tr, func() string {
+		tr.Choose(KindReadFrom, 1)
+		return "x"
+	})
+	if len(paths) != 1 {
+		t.Fatalf("1-ary decisions must not multiply executions: %v", paths)
+	}
+}
+
+func TestKindCounters(t *testing.T) {
+	tr := NewTree()
+	enumerate(t, tr, func() string {
+		tr.Choose(KindFailure, 2)
+		tr.Choose(KindReadFrom, 2)
+		return ""
+	})
+	if got := tr.Created(KindFailure); got != 1 {
+		t.Fatalf("failure points = %d, want 1", got)
+	}
+	if got := tr.Created(KindReadFrom); got != 2 {
+		t.Fatalf("read-from points = %d, want 2 (one per failure branch)", got)
+	}
+}
+
+func TestReplayDivergencePanics(t *testing.T) {
+	tr := NewTree()
+	tr.Begin()
+	tr.Choose(KindReadFrom, 2)
+	if !tr.Advance() {
+		t.Fatal("should have another branch")
+	}
+	tr.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch during replay")
+		}
+	}()
+	tr.Choose(KindFailure, 2)
+}
+
+func TestDoneAndBeginAfterExhaustion(t *testing.T) {
+	tr := NewTree()
+	tr.Begin()
+	if tr.Advance() {
+		t.Fatal("decision-free execution should exhaust immediately")
+	}
+	if !tr.Done() {
+		t.Fatal("tree should be done")
+	}
+	if tr.Advance() {
+		t.Fatal("Advance after done must return false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin after exhaustion must panic")
+		}
+	}()
+	tr.Begin()
+}
+
+func TestChooseZeroBranchesPanics(t *testing.T) {
+	tr := NewTree()
+	tr.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Choose(KindReadFrom, 0)
+}
+
+func TestEarlyTerminationTrimsAbandonedSubtree(t *testing.T) {
+	// An execution that stops early (e.g. a bug aborts it) must not leave
+	// stale deeper nodes behind.
+	tr := NewTree()
+	tr.Begin()
+	tr.Choose(KindFailure, 2) // 0
+	tr.Choose(KindReadFrom, 2)
+	if !tr.Advance() {
+		t.Fatal("expected more branches")
+	}
+	tr.Begin()
+	tr.Choose(KindFailure, 2) // 0 again
+	// Execution "crashes" here without reaching the read-from point it
+	// advanced to... which is impossible in a deterministic replay, but
+	// Advance's trim keeps the structure consistent regardless.
+	if !tr.Advance() {
+		t.Fatal("failure branch 1 still unexplored")
+	}
+	tr.Begin()
+	if got := tr.Choose(KindFailure, 2); got != 1 {
+		t.Fatalf("next branch = %d, want 1", got)
+	}
+	if tr.Advance() {
+		t.Fatal("tree should now be exhausted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindReadFrom.String() != "read-from" || KindFailure.String() != "failure-injection" ||
+		KindPoison.String() != "poison" || Kind(200).String() != "unknown" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+// TestRandomShapesEnumerateAllLeaves: for random decision-tree shapes,
+// the DFS visits exactly the number of leaves the shape implies.
+func TestRandomShapesEnumerateAllLeaves(t *testing.T) {
+	// A shape is a slice of arities encountered along every path (a
+	// "product tree"): leaves = product of arities.
+	shapes := [][]int{
+		{2, 2, 2, 2},
+		{3, 1, 2},
+		{1, 1, 1},
+		{4, 3},
+		{2, 5, 2},
+	}
+	for _, shape := range shapes {
+		want := 1
+		for _, n := range shape {
+			want *= n
+		}
+		tr := NewTree()
+		got := 0
+		for {
+			tr.Begin()
+			for _, n := range shape {
+				tr.Choose(KindReadFrom, n)
+			}
+			got++
+			if !tr.Advance() {
+				break
+			}
+		}
+		if got != want {
+			t.Errorf("shape %v: %d leaves, want %d", shape, got, want)
+		}
+	}
+}

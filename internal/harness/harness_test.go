@@ -1,0 +1,422 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	cxlmc "repro"
+	"repro/internal/recipe"
+)
+
+// TestTable3AllBugsDetected reproduces Table 3: every seeded RECIPE bug
+// must be found by the checker.
+func TestTable3AllBugsDetected(t *testing.T) {
+	for _, b := range Benchmarks {
+		for _, bi := range b.Bugs {
+			b, bi := b, bi
+			t.Run(fmt.Sprintf("%s_bug%d", b.Name, bi.Table), func(t *testing.T) {
+				res, err := BugHunt(b, bi, cxlmc.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Buggy() {
+					t.Fatalf("bug #%d (%s) not detected in %d executions", bi.Table, bi.Desc, res.Executions)
+				}
+				t.Logf("bug #%d detected as %s after %d executions (%v)",
+					bi.Table, res.Bugs[0].Kind, res.Executions, res.Elapsed)
+			})
+		}
+	}
+}
+
+// TestTable3Count checks the inventory: 22 RECIPE bugs, 7 of them new,
+// matching the paper's §6.1 numbers.
+func TestTable3Count(t *testing.T) {
+	total, fresh := 0, 0
+	seen := map[int]bool{}
+	for _, b := range Benchmarks {
+		for _, bi := range b.Bugs {
+			total++
+			if bi.New {
+				fresh++
+			}
+			if seen[bi.Table] {
+				t.Errorf("duplicate Table 3 number %d", bi.Table)
+			}
+			seen[bi.Table] = true
+		}
+	}
+	if total != 22 {
+		t.Errorf("Table 3 bugs = %d, want 22", total)
+	}
+	if fresh != 7 {
+		t.Errorf("new bugs = %d, want 7", fresh)
+	}
+	for i := 1; i <= 22; i++ {
+		if !seen[i] {
+			t.Errorf("Table 3 bug #%d missing from inventory", i)
+		}
+	}
+}
+
+// TestTable4BothBugsDetected reproduces Table 4.
+func TestTable4BothBugsDetected(t *testing.T) {
+	rows, err := RunTable4(cxlmc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Detected {
+			t.Errorf("CXL-SHM bug %q not detected", r.Name)
+		}
+	}
+	if rows[0].Kind != "assertion" {
+		t.Errorf("kv bug kind = %s, want assertion (verification failure)", rows[0].Kind)
+	}
+	if rows[1].Kind != "panic" {
+		t.Errorf("stress bug kind = %s, want panic (divide by zero)", rows[1].Kind)
+	}
+}
+
+// TestTable4DetectedUnderGPF checks §6.2's second half: the CXL-SHM bugs
+// are caused by unexpected partial failures during recovery, so GPF mode
+// still finds them.
+func TestTable4DetectedUnderGPF(t *testing.T) {
+	rows, err := RunTable4(cxlmc.Config{GPF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Detected {
+			t.Errorf("CXL-SHM bug %q not detected under GPF", r.Name)
+		}
+	}
+}
+
+// TestGPFMasksRecipeBugs checks §6.2's first half: with an
+// always-successful global persistent flush, none of the Table 3 bugs is
+// detectable — they all need a lost cached value (alone or combined with
+// a partial failure).
+func TestGPFMasksRecipeBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full GPF sweep in short mode")
+	}
+	for _, b := range Benchmarks {
+		for _, bi := range b.Bugs {
+			b, bi := b, bi
+			t.Run(fmt.Sprintf("%s_bug%d", b.Name, bi.Table), func(t *testing.T) {
+				res, err := BugHunt(b, bi, cxlmc.Config{GPF: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Buggy() {
+					t.Fatalf("bug #%d detected under GPF: %v (the paper reports none detectable)", bi.Table, res.Bugs)
+				}
+				if !res.Complete {
+					t.Fatalf("bug #%d: GPF exploration incomplete (%d executions), absence not proven", bi.Table, res.Executions)
+				}
+			})
+		}
+	}
+}
+
+// TestTable5FixedBenchmarksClean verifies the precondition of the
+// paper's performance measurement: with all bugs fixed, full exploration
+// finds nothing.
+func TestTable5FixedBenchmarksClean(t *testing.T) {
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			row, err := RunTable5Row(b, false, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(row.Bugs) > 0 {
+				t.Fatalf("fixed %s reports bugs: %v", b.Name, row.Bugs)
+			}
+			if !row.Complete {
+				t.Fatalf("fixed %s exploration incomplete (%d executions)", b.Name, row.Execs)
+			}
+			t.Logf("%s: %d execs, %d fpoints, %d rfpoints, %v", b.Name, row.Execs, row.FPoints, row.RFPoints, row.Elapsed)
+		})
+	}
+}
+
+// TestTable5GPFShape reproduces the qualitative Table 5 findings (§6.3):
+// GPF mode explores at most as much as non-GPF mode; for most benchmarks
+// the two are close because of the commit-store pattern; P-BwTree is the
+// outlier, collapsing under GPF because its many unflushed epoch stores
+// stop generating alternative post-crash reads.
+func TestTable5GPFShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 5 sweep in short mode")
+	}
+	ratios := map[string]float64{}
+	for _, b := range Benchmarks {
+		plain, err := RunTable5Row(b, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpf, err := RunTable5Row(b, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plain.Complete || !gpf.Complete {
+			t.Fatalf("%s: incomplete exploration", b.Name)
+		}
+		if gpf.Execs > plain.Execs {
+			t.Errorf("%s: GPF explored more (%d) than non-GPF (%d)", b.Name, gpf.Execs, plain.Execs)
+		}
+		ratios[b.Name] = float64(plain.Execs) / float64(gpf.Execs)
+		t.Logf("%-12s execs %6d → %6d under GPF (ratio %.2f)", b.Name, plain.Execs, gpf.Execs, ratios[b.Name])
+	}
+	// P-BwTree must shrink by more than any other benchmark.
+	for name, r := range ratios {
+		if name != "P-BwTree" && r >= ratios["P-BwTree"] {
+			t.Errorf("expected P-BwTree to have the largest GPF ratio; %s has %.2f ≥ %.2f", name, r, ratios["P-BwTree"])
+		}
+	}
+}
+
+// TestDeterministicHarness checks that a fixed seed reproduces identical
+// statistics across runs — the property §5's deterministic replay
+// depends on.
+func TestDeterministicHarness(t *testing.T) {
+	a, err := RunTable5Row(Benchmarks[0], false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTable5Row(Benchmarks[0], false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Execs != b.Execs || a.FPoints != b.FPoints || a.RFPoints != b.RFPoints {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSeedsVaryExploration spot-checks §4.6: different seeds give
+// different (still complete, still clean) schedules.
+func TestSeedsVaryExploration(t *testing.T) {
+	execs := map[int]bool{}
+	for seed := int64(0); seed < 3; seed++ {
+		row, err := RunTable5Row(Benchmarks[0], false, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row.Bugs) > 0 {
+			t.Fatalf("seed %d found bugs in fixed benchmark: %v", seed, row.Bugs)
+		}
+		execs[row.Execs] = true
+	}
+	if len(execs) < 2 {
+		t.Log("note: all seeds produced identical exploration sizes (allowed, but unusual)")
+	}
+}
+
+// TestPrintTables smoke-tests the table renderers.
+func TestPrintTables(t *testing.T) {
+	PrintTable3(os.Stderr, []Table3Row{{Num: 1, Benchmark: "CCEH", Desc: "x", Detected: true, Kind: "segfault"}})
+	PrintTable4(os.Stderr, []Table4Row{{Num: 1, Name: "kv", Desc: "y", Detected: true, Kind: "assertion"}})
+	PrintTable5(os.Stderr, []Table5Row{{Name: "CCEH", Execs: 1, FPoints: 2}})
+}
+
+// TestByName checks benchmark lookup.
+func TestByName(t *testing.T) {
+	if _, ok := ByName("CCEH"); !ok {
+		t.Error("CCEH not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("phantom benchmark")
+	}
+}
+
+// TestWorkloadValueNonZero guards the driver invariant that values are
+// never zero (zero means "empty" in several structures).
+func TestWorkloadValueNonZero(t *testing.T) {
+	for k := uint64(0); k < 1000; k++ {
+		if recipe.Value(k) == 0 {
+			t.Fatalf("Value(%d) = 0", k)
+		}
+	}
+}
+
+// TestDeletePhaseAllStructures runs every structure with the delete phase
+// enabled (an extension beyond the paper's insert-only workload): full
+// exploration must stay clean — committed inserts present, committed
+// deletes absent — through every partial-failure scenario.
+func TestDeletePhaseAllStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("delete sweep in short mode")
+	}
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := cxlmc.Run(
+				cxlmc.Config{MaxExecutions: 2_000_000},
+				recipe.Program(b, recipe.Config{Keys: 6, Workers: 1, Deletes: true}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Buggy() {
+				t.Fatalf("delete phase bugs: %v", res.Bugs)
+			}
+			if !res.Complete {
+				t.Fatalf("incomplete after %d executions", res.Executions)
+			}
+			t.Logf("%s with deletes: %d execs, %d fpoints (%v)", b.Name, res.Executions, res.FailurePoints, res.Elapsed)
+		})
+	}
+}
+
+// TestThreeMachines generalizes the evaluation to three compute nodes:
+// any subset may fail (the §3.3 multi-failure case, one constraint per
+// failed machine per line), and the surviving checkers must still prove
+// crash consistency of the fixed structures.
+func TestThreeMachines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-machine sweep in short mode")
+	}
+	for _, b := range []recipe.Benchmark{Benchmarks[0], Benchmarks[4]} { // CCEH, P-CLHT
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 2_000_000},
+				recipe.Program(b, recipe.Config{Keys: 6, Workers: 1, Machines: 3}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Buggy() {
+				t.Fatalf("bugs: %v", res.Bugs)
+			}
+			if !res.Complete {
+				t.Fatalf("incomplete after %d executions", res.Executions)
+			}
+			t.Logf("%s 3 machines: %d execs, %d fpoints (%v)", b.Name, res.Executions, res.FailurePoints, res.Elapsed)
+		})
+	}
+}
+
+// TestThreeMachineBugStillDetected re-hunts one ctor bug with three
+// machines: the extra failure combinations must not hide it.
+func TestThreeMachineBugStillDetected(t *testing.T) {
+	b := Benchmarks[4] // P-CLHT
+	bi := b.Bugs[0]
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 300000},
+		recipe.Program(b, recipe.Config{Keys: 6, Workers: 1, Machines: 3, Bugs: bi.Bit}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Fatalf("bug #%d not detected with three machines", bi.Table)
+	}
+}
+
+// TestRunFuzz sweeps several schedules over a fixed benchmark (§4.6):
+// every seed must complete cleanly.
+func TestRunFuzz(t *testing.T) {
+	rows, err := RunFuzz(Benchmarks[0], Table5Config(), false, []int64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Bugs) > 0 || !r.Complete {
+			t.Errorf("seed %d: bugs=%v complete=%v", r.Seed, r.Bugs, r.Complete)
+		}
+	}
+}
+
+// TestIterativeFix reproduces the §6.1 methodology per benchmark: with
+// every seeded bug present, repeated find-fix-rerun rounds must drive
+// each benchmark to a clean state, fixing exactly its Table 3 bugs.
+func TestIterativeFix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("iterative-fix sweep in short mode")
+	}
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			steps, err := IterativeFix(b, cxlmc.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(steps) != len(b.Bugs) {
+				t.Fatalf("fixed %d bugs, want %d", len(steps), len(b.Bugs))
+			}
+			for _, s := range steps {
+				t.Logf("found %-9s → fixed bug #%d", s.Found.Kind, s.Fixed)
+			}
+		})
+	}
+}
+
+// TestConcurrentReaders races lock-free lookups against inserts and
+// failures on every structure: the RECIPE designs promise readers are
+// safe without locks, and the checker verifies it through every partial
+// failure interleaving of the fixed schedule.
+func TestConcurrentReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent-reader sweep in short mode")
+	}
+	for _, b := range Benchmarks {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 2_000_000},
+				recipe.Program(b, recipe.Config{Keys: 4, Workers: 1, ConcurrentReaders: true}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Buggy() {
+				t.Fatalf("racing readers broke: %v", res.Bugs)
+			}
+			if !res.Complete {
+				t.Fatalf("incomplete after %d executions", res.Executions)
+			}
+			t.Logf("%s racing readers: %d execs (%v)", b.Name, res.Executions, res.Elapsed)
+		})
+	}
+}
+
+// TestMaxTimeBudget stops a large exploration early without error.
+func TestMaxTimeBudget(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxTime: 1}, // 1ns: stop after the first execution
+		recipe.Program(Benchmarks[3], Table5Config()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("budgeted run claimed completeness")
+	}
+	if res.Executions > 10 {
+		t.Fatalf("budget ignored: %d executions", res.Executions)
+	}
+}
+
+// TestPoisonModeFlagsRecipeBenchmarks documents the paper's reason for
+// leaving poisoning off (§2.2): "currently there are no applications
+// designed to work with memory poisoning enabled". The RECIPE structures
+// read lines whose last writer may have failed — under the poisoning
+// model those reads raise poison errors.
+func TestPoisonModeFlagsRecipeBenchmarks(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{Poison: true, MaxExecutions: 300000},
+		recipe.Program(Benchmarks[0], recipe.Config{Keys: 4, Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Skip("no poisoned read surfaced at this size")
+	}
+	found := false
+	for _, b := range res.Bugs {
+		if b.Kind == cxlmc.BugPoison {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a poison report, got %v", res.Bugs)
+	}
+}

@@ -1,0 +1,328 @@
+package memmodel
+
+// Memory is the simulated CXL shared-memory device plus the coherent cache
+// abstraction of the model: the global store queue (one log per cache
+// line, scanned per byte), the per-machine cache-line constraints, and the
+// global sequence counter σ_curr.
+//
+// Memory knows nothing about threads or scheduling; the checker drives it
+// through the Exec* methods on ThreadBuf and the Commit* methods here
+// (Algorithms 1 and 2 of the paper).
+type Memory struct {
+	seq   Seq
+	lines map[LineID]*lineLog
+	// cons holds per-machine cache-line constraints; absent entries mean
+	// the default [0, ∞).
+	cons map[conKey]Constraint
+	// initial holds device-resident initial memory contents (attributed
+	// to DeviceID at σ=0, always persisted). Absent lines read as zero.
+	initial map[LineID]*[LineSize]byte
+}
+
+type conKey struct {
+	m  MachineID
+	ln LineID
+}
+
+type lineLog struct {
+	stores []Store // ordered by Seq, ascending
+}
+
+// NewMemory returns an empty memory with σ_curr = 0 and all-zero contents.
+func NewMemory() *Memory {
+	return &Memory{
+		lines:   make(map[LineID]*lineLog),
+		cons:    make(map[conKey]Constraint),
+		initial: make(map[LineID]*[LineSize]byte),
+	}
+}
+
+// Seq returns σ_curr, the timestamp of the most recent instruction that
+// took effect on the cache.
+func (m *Memory) Seq() Seq { return m.seq }
+
+// nextSeq increments and returns σ_curr.
+func (m *Memory) nextSeq() Seq {
+	m.seq++
+	return m.seq
+}
+
+// InitWrite sets initial memory contents: size bytes of val at address a,
+// recorded as device-persisted data at σ=0. It must only be used before
+// the checked execution starts (typically from program setup code).
+func (m *Memory) InitWrite(a Addr, size uint8, val uint64) {
+	for i := Addr(0); i < Addr(size); i++ {
+		b := a + i
+		ln := LineOf(b)
+		img := m.initial[ln]
+		if img == nil {
+			img = new([LineSize]byte)
+			m.initial[ln] = img
+		}
+		img[b-LineBase(ln)] = byte(val >> (8 * i))
+	}
+}
+
+// InitialByte returns the device-resident initial value of byte b.
+func (m *Memory) InitialByte(b Addr) byte {
+	img := m.initial[LineOf(b)]
+	if img == nil {
+		return 0
+	}
+	return img[b-LineBase(LineOf(b))]
+}
+
+// Constraint returns machine mach's constraint for cache line ln
+// (default [0, ∞) when never refined).
+func (m *Memory) Constraint(mach MachineID, ln LineID) Constraint {
+	if c, ok := m.cons[conKey{mach, ln}]; ok {
+		return c
+	}
+	return DefaultConstraint
+}
+
+// RaiseBegin raises the lower bound of mach's constraint for line ln to at
+// least s, returning the previous and new constraint.
+func (m *Memory) RaiseBegin(mach MachineID, ln LineID, s Seq) (old, now Constraint) {
+	k := conKey{mach, ln}
+	old = m.Constraint(mach, ln)
+	now = old
+	if s > now.Begin {
+		now.Begin = s
+		m.cons[k] = now
+	}
+	return old, now
+}
+
+// LowerEnd lowers the upper bound of mach's constraint for line ln to at
+// most s.
+func (m *Memory) LowerEnd(mach MachineID, ln LineID, s Seq) {
+	k := conKey{mach, ln}
+	c := m.Constraint(mach, ln)
+	if s < c.End {
+		c.End = s
+		m.cons[k] = c
+	}
+}
+
+// PersistAll snaps every constraint of machine mach to "fully persisted as
+// of now": Begin = σ_curr on every line the machine has touched. This
+// implements GPF mode's always-successful global persistent flush at
+// failure time (paper §6.2).
+func (m *Memory) PersistAll(mach MachineID) {
+	for ln, log := range m.lines {
+		for i := range log.stores {
+			if log.stores[i].Machine == mach {
+				m.RaiseBegin(mach, ln, m.seq)
+				break
+			}
+		}
+	}
+	// Lines flushed before (constraint entries without stores) need no
+	// update: raising Begin further has no observable effect without
+	// stores from mach above the old Begin.
+}
+
+// line returns the store log for ln, creating it if needed.
+func (m *Memory) line(ln LineID) *lineLog {
+	l := m.lines[ln]
+	if l == nil {
+		l = &lineLog{}
+		m.lines[ln] = l
+	}
+	return l
+}
+
+// StoresOn returns the store log of cache line ln, ordered by Seq
+// ascending. The returned slice must not be modified.
+func (m *Memory) StoresOn(ln LineID) []Store {
+	if l := m.lines[ln]; l != nil {
+		return l.stores
+	}
+	return nil
+}
+
+// HasStoreBy reports whether machine mach has a store to line ln with
+// sequence number in (lo, hi]. The failure-injection policy (Algorithm 5,
+// line 16) uses this to decide whether a flush crossing the interval
+// reduces future post-failure load results.
+func (m *Memory) HasStoreBy(mach MachineID, ln LineID, lo, hi Seq) bool {
+	l := m.lines[ln]
+	if l == nil {
+		return false
+	}
+	for i := len(l.stores) - 1; i >= 0; i-- {
+		s := &l.stores[i]
+		if s.Seq <= lo {
+			break
+		}
+		if s.Seq <= hi && s.Machine == mach {
+			return true
+		}
+	}
+	return false
+}
+
+// NextStoreAfter returns the sequence number of the first store covering
+// byte b with Seq > after, and whether one exists (used by Algorithm 4 to
+// lower the End of a failed machine's constraint).
+func (m *Memory) NextStoreAfter(b Addr, after Seq) (Seq, bool) {
+	l := m.lines[LineOf(b)]
+	if l == nil {
+		return 0, false
+	}
+	for i := range l.stores {
+		s := &l.stores[i]
+		if s.Seq > after && s.Covers(b) {
+			return s.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// FlushEffect describes the constraint update a flush commit would apply
+// (or has applied): machine mach's constraint Begin for line Line moving
+// from OldBegin to NewBegin.
+type FlushEffect struct {
+	Machine  MachineID
+	Line     LineID
+	OldBegin Seq
+	NewBegin Seq
+}
+
+// CrossesLiveStore reports whether applying the effect would move the
+// constraint Begin past at least one store from machine mach — i.e.
+// whether it is a failure-injection point per Algorithm 5 line 16 (the
+// caller checks that mach is live).
+func (m *Memory) CrossesLiveStore(eff FlushEffect) bool {
+	if eff.NewBegin <= eff.OldBegin {
+		return false
+	}
+	return m.HasStoreBy(eff.Machine, eff.Line, eff.OldBegin, eff.NewBegin)
+}
+
+// CommitStore commits the store at the head of tb's store buffer
+// (Algorithm 2, Commit_SB(store)): assigns σ, appends the store to the
+// cache's store queue, and updates t_{τ,line}. It returns the committed
+// store. The head of tb.SB must be an SBStore.
+func (m *Memory) CommitStore(tb *ThreadBuf, mach MachineID) Store {
+	e := tb.popSB()
+	if e.Kind != SBStore {
+		panic("memmodel: CommitStore on non-store head")
+	}
+	st := e.St
+	st.Seq = m.nextSeq()
+	st.Machine = mach
+	l := m.line(LineOf(st.Addr))
+	l.stores = append(l.stores, st)
+	tb.lineOp(LineOf(st.Addr), st.Seq)
+	return st
+}
+
+// PreviewClflush returns the constraint effect committing the clflush at
+// the head of tb.SB would have, without applying it or consuming the
+// entry. σ_curr is not advanced; the previewed NewBegin is the value the
+// commit would assign (σ_curr + 1).
+func (m *Memory) PreviewClflush(tb *ThreadBuf, mach MachineID) FlushEffect {
+	e := tb.Head()
+	if e == nil || e.Kind != SBClflush {
+		panic("memmodel: PreviewClflush on non-clflush head")
+	}
+	ln := LineOf(e.Addr)
+	return FlushEffect{
+		Machine:  mach,
+		Line:     ln,
+		OldBegin: m.Constraint(mach, ln).Begin,
+		NewBegin: m.seq + 1,
+	}
+}
+
+// CommitClflush commits the clflush at the head of tb.SB (Algorithm 2,
+// Commit_SB(clflush)): assigns σ, raises the flusher's constraint Begin
+// for the line to σ, and updates t_{τ,line}.
+func (m *Memory) CommitClflush(tb *ThreadBuf, mach MachineID) FlushEffect {
+	e := tb.popSB()
+	if e.Kind != SBClflush {
+		panic("memmodel: CommitClflush on non-clflush head")
+	}
+	ln := LineOf(e.Addr)
+	s := m.nextSeq()
+	old, now := m.RaiseBegin(mach, ln, s)
+	tb.lineOp(ln, s)
+	return FlushEffect{Machine: mach, Line: ln, OldBegin: old.Begin, NewBegin: now.Begin}
+}
+
+// CommitClflushopt moves the clflushopt at the head of tb.SB into the
+// flush buffer F_τ (Algorithm 2, Commit_SB(clflushopt)). Its effective
+// flush timestamp is the max of (1) σ_curr when it executed, (2) the last
+// store/clflush the thread committed to the same line, and (3) the
+// thread's last sfence — the earliest point it could take effect after
+// reordering with earlier instructions.
+func (m *Memory) CommitClflushopt(tb *ThreadBuf) {
+	e := tb.popSB()
+	if e.Kind != SBClflushopt {
+		panic("memmodel: CommitClflushopt on non-clflushopt head")
+	}
+	eff := e.ExecSeq
+	if t := tb.TLine[LineOf(e.Addr)]; t > eff {
+		eff = t
+	}
+	if tb.TSfence > eff {
+		eff = tb.TSfence
+	}
+	tb.FB = append(tb.FB, FBEntry{Addr: e.Addr, EffSeq: eff})
+}
+
+// CommitSfence commits the sfence at the head of tb.SB (Algorithm 2,
+// Commit_SB(sfence)): assigns σ and updates t_τ. It does NOT drain F_τ
+// itself — the checker drains F_τ entry by entry via PreviewFB/CommitFB so
+// that each clflushopt taking effect is a separate failure-injection
+// opportunity. The caller must drain F_τ to empty immediately after.
+func (m *Memory) CommitSfence(tb *ThreadBuf) {
+	e := tb.popSB()
+	if e.Kind != SBSfence {
+		panic("memmodel: CommitSfence on non-sfence head")
+	}
+	tb.TSfence = m.nextSeq()
+}
+
+// PreviewFB returns the constraint effect of the flush-buffer head taking
+// effect, without consuming it.
+func (m *Memory) PreviewFB(tb *ThreadBuf, mach MachineID) FlushEffect {
+	if len(tb.FB) == 0 {
+		panic("memmodel: PreviewFB on empty flush buffer")
+	}
+	e := tb.FB[0]
+	ln := LineOf(e.Addr)
+	return FlushEffect{
+		Machine:  mach,
+		Line:     ln,
+		OldBegin: m.Constraint(mach, ln).Begin,
+		NewBegin: e.EffSeq,
+	}
+}
+
+// CommitFB applies the flush-buffer head (Algorithm 2, Commit_FB): the
+// buffered clflushopt takes effect, raising the flusher's constraint Begin
+// for the line to the entry's effective timestamp.
+func (m *Memory) CommitFB(tb *ThreadBuf, mach MachineID) FlushEffect {
+	if len(tb.FB) == 0 {
+		panic("memmodel: CommitFB on empty flush buffer")
+	}
+	e := tb.popFB()
+	ln := LineOf(e.Addr)
+	old, now := m.RaiseBegin(mach, ln, e.EffSeq)
+	return FlushEffect{Machine: mach, Line: ln, OldBegin: old.Begin, NewBegin: now.Begin}
+}
+
+// CommitDirectStore appends a store to the cache immediately, bypassing
+// the store buffer. It implements the store half of locked RMW sequences
+// (paper §4.4: mfence; load; store; mfence executed atomically — the
+// surrounding fences mean the store takes effect on the cache at once).
+func (m *Memory) CommitDirectStore(tb *ThreadBuf, mach MachineID, a Addr, size uint8, val uint64) Store {
+	st := Store{Addr: a, Size: size, Val: val, Seq: m.nextSeq(), Machine: mach}
+	l := m.line(LineOf(a))
+	l.stores = append(l.stores, st)
+	tb.lineOp(LineOf(a), st.Seq)
+	return st
+}

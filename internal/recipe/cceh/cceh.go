@@ -1,0 +1,375 @@
+// Package cceh reimplements CCEH (Cacheline-Conscious Extendible
+// Hashing, Nam et al.) from the RECIPE suite over simulated CXL shared
+// memory, with the three constructor missing-flush bugs of Table 3
+// (#1–#3) behind toggles.
+//
+// Layout (all in CXL memory), a three-level pointer chain as in the
+// original (CCEH object → directory object → segment array), which is
+// where the three constructor flush bugs live:
+//
+//	header    (one line): [0] pointer to the directory object
+//	                      [8] split journal: oldSegment | targetDepth
+//	                      [16] split journal: new segment
+//	dir object (one line): [0] global depth, [8] segment-array pointer;
+//	                      immutable once published, so directory
+//	                      doubling commits by swapping the header
+//	                      pointer with one flushed 8-byte store
+//	segment array:        2^G segment pointers, 8 bytes each
+//	segment:              one header line ([0] localDepth) followed by
+//	                      slotLines lines of 4 slots each; a slot is
+//	                      {key, val}, 16 bytes, never straddling a line
+//	                      (the "cacheline-conscious" part)
+//
+// Inserts write val before key and flush the slot line before returning,
+// so a key is visible only when its value is durable.
+//
+// Splits are journaled: the header records the segment being split, the
+// target depth and the new segment (flushed) before any split step runs,
+// and the journal is cleared only after the new segment is complete and
+// the directory repointed. A machine may die at any point inside a
+// split; lookups stay correct on the intermediate states (the old
+// segment keeps every entry until the post-journal cleanup), and the
+// next inserter that acquires the table lock after an owner failure
+// redoes the journaled split idempotently before trusting segment
+// fullness — without this, a survivor re-splitting a half-split segment
+// disconnects directory entries that already point at the new segment,
+// stranding keys committed there (a hole this repository's own model
+// checker found during development).
+package cceh
+
+import (
+	cxlmc "repro"
+	"repro/internal/recipe"
+)
+
+// Seeded bugs (Table 3 numbering).
+const (
+	// BugCtorSegmentFlush (#1): the constructor does not flush the
+	// segment array, so post-failure lookups chase null segment
+	// pointers.
+	BugCtorSegmentFlush recipe.Bug = 1 << iota
+	// BugCtorDirectoryFlush (#2): the directory object (global depth and
+	// segment-array pointer) is not flushed.
+	BugCtorDirectoryFlush
+	// BugCtorHeaderFlush (#3): the header's pointer to the directory
+	// object is not flushed; post-failure accesses start from a null
+	// directory.
+	BugCtorHeaderFlush
+)
+
+// Benchmark describes CCEH to the harness.
+var Benchmark = recipe.Benchmark{
+	Name: "CCEH",
+	New:  func(p *cxlmc.Program, bugs recipe.Bug) recipe.Index { return New(p, bugs) },
+	Bugs: []recipe.BugInfo{
+		{Bit: BugCtorSegmentFlush, Table: 1, Desc: "Missing flush in CCEH constructor"},
+		{Bit: BugCtorDirectoryFlush, Table: 2, Desc: "Missing flush in CCEH constructor"},
+		{Bit: BugCtorHeaderFlush, Table: 3, Desc: "Missing flush in CCEH constructor"},
+	},
+}
+
+const (
+	offDirMeta    = 0
+	offJournal    = 8
+	offJournalNew = 16
+
+	initDepth  = 1 // initial global/local depth: two segments
+	slotLines  = 2 // slot lines per segment
+	slotsPer   = slotLines * 4
+	slotSize   = 16
+	segSize    = 64 + slotLines*64
+	maxDepth   = 8
+	keyOffset  = 0
+	valOffset  = 8
+	hashGolden = 0x9E3779B97F4A7C15
+)
+
+// CCEH is one hash table instance.
+type CCEH struct {
+	mu     *cxlmc.Mutex
+	header cxlmc.Addr
+	bugs   recipe.Bug
+}
+
+// New lays out a CCEH instance (no simulated stores; see Init).
+func New(p *cxlmc.Program, bugs recipe.Bug) *CCEH {
+	return &CCEH{
+		mu:     p.NewMutex("cceh"),
+		header: p.AllocAligned(64, 64),
+		bugs:   bugs,
+	}
+}
+
+func hash(key uint64) uint64 { return key * hashGolden }
+
+// dirIndex routes a hash to a directory slot under global depth g.
+func dirIndex(h uint64, g uint64) uint64 { return h >> (64 - g) }
+
+// Init runs the constructor: allocate the directory and two segments,
+// initialize and (modulo seeded bugs) flush them, and publish the header.
+func (c *CCEH) Init(t *cxlmc.Thread) {
+	arr := t.AllocAligned(uint64(8<<initDepth), 64)
+	for i := 0; i < 1<<initDepth; i++ {
+		seg := c.newSegment(t, initDepth, true)
+		t.Store64(arr+cxlmc.Addr(8*i), uint64(seg))
+	}
+	if !c.bugs.Has(BugCtorSegmentFlush) {
+		for off := cxlmc.Addr(0); off < cxlmc.Addr(8<<initDepth); off += 64 {
+			t.CLFlushOpt(arr + off)
+		}
+		t.SFence()
+	}
+	dirObj := c.newDirObject(t, initDepth, arr, !c.bugs.Has(BugCtorDirectoryFlush))
+	t.Store64(c.header+offDirMeta, uint64(dirObj))
+	if !c.bugs.Has(BugCtorHeaderFlush) {
+		t.CLFlush(c.header)
+		t.SFence()
+	}
+}
+
+// newDirObject publishes an immutable {globalDepth, segmentArray} pair.
+func (c *CCEH) newDirObject(t *cxlmc.Thread, depth uint64, arr cxlmc.Addr, flush bool) cxlmc.Addr {
+	d := t.AllocAligned(64, 64)
+	t.Store64(d, depth)
+	t.Store64(d+8, uint64(arr))
+	if flush {
+		t.CLFlush(d)
+		t.SFence()
+	}
+	return d
+}
+
+// newSegment allocates a segment with the given local depth; flushDepth
+// controls whether the depth word is flushed (the constructor bug skips
+// it; splits always flush).
+func (c *CCEH) newSegment(t *cxlmc.Thread, depth uint64, flushDepth bool) cxlmc.Addr {
+	seg := t.AllocAligned(segSize, 64)
+	t.Store64(seg, depth)
+	if flushDepth {
+		t.CLFlush(seg)
+		t.SFence()
+	}
+	return seg
+}
+
+// slotAddr returns the address of slot i in seg: slots are packed four
+// per line after the segment header line.
+func slotAddr(seg cxlmc.Addr, i int) cxlmc.Addr {
+	return seg + 64 + cxlmc.Addr(i*slotSize)
+}
+
+// loadMeta chases the header to the current (segment array, globalDepth).
+func (c *CCEH) loadMeta(t *cxlmc.Thread) (cxlmc.Addr, uint64) {
+	dirObj := cxlmc.Addr(t.Load64(c.header + offDirMeta))
+	g := t.Load64(dirObj)
+	arr := cxlmc.Addr(t.Load64(dirObj + 8))
+	return arr, g
+}
+
+// recover redoes a journaled split left behind by a failed lock owner.
+func (c *CCEH) recover(t *cxlmc.Thread) {
+	j := t.Load64(c.header + offJournal)
+	if j == 0 {
+		return
+	}
+	oldSeg := cxlmc.Addr(j &^ 63)
+	targetDepth := j & 63
+	newSeg := cxlmc.Addr(t.Load64(c.header + offJournalNew))
+	c.redoSplit(t, oldSeg, newSeg, targetDepth)
+	c.clearJournal(t)
+}
+
+func (c *CCEH) clearJournal(t *cxlmc.Thread) {
+	t.Store64(c.header+offJournal, 0)
+	t.CLFlush(c.header)
+	t.SFence()
+}
+
+// Insert adds key→val (keys are unique in the workload; re-inserting an
+// existing key updates it).
+func (c *CCEH) Insert(t *cxlmc.Thread, key, val uint64) {
+	if c.mu.Lock(t) {
+		// The previous lock owner's machine failed: redo any split it
+		// left half done before trusting segment state.
+		c.recover(t)
+	}
+	defer c.mu.Unlock(t)
+	for {
+		if c.tryInsert(t, key, val) {
+			return
+		}
+		// Target segment full: split it and retry.
+		c.split(t, hash(key))
+	}
+}
+
+func (c *CCEH) tryInsert(t *cxlmc.Thread, key, val uint64) bool {
+	h := hash(key)
+	dir, g := c.loadMeta(t)
+	seg := cxlmc.Addr(t.Load64(dir + cxlmc.Addr(8*dirIndex(h, g))))
+	start := int(h % slotsPer)
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(seg, (start+i)%slotsPer)
+		k := t.Load64(s + keyOffset)
+		if k == key {
+			t.Store64(s+valOffset, val)
+			t.CLFlush(s)
+			t.SFence()
+			return true
+		}
+		if k == 0 {
+			// Value first, then key: the key's visibility commits the
+			// slot, and the single flush covers both (same line).
+			t.Store64(s+valOffset, val)
+			t.Store64(s+keyOffset, key)
+			t.CLFlush(s)
+			t.SFence()
+			return true
+		}
+	}
+	return false
+}
+
+// split splits the segment that hash h routes to, doubling the directory
+// first when the segment is already at global depth. The split is
+// journaled so a surviving machine can redo it if this one dies mid-way.
+func (c *CCEH) split(t *cxlmc.Thread, h uint64) {
+	dir, g := c.loadMeta(t)
+	oldSeg := cxlmc.Addr(t.Load64(dir + cxlmc.Addr(8*dirIndex(h, g))))
+	l := t.Load64(oldSeg)
+	if l >= g {
+		c.doubleDirectory(t)
+	}
+
+	// Journal first: new segment identity below old|targetDepth, so a
+	// persisted journal word implies a persisted new-segment word
+	// (same-line store order).
+	newSeg := c.newSegment(t, l+1, true)
+	t.Store64(c.header+offJournalNew, uint64(newSeg))
+	t.Store64(c.header+offJournal, uint64(oldSeg)|(l+1))
+	t.CLFlush(c.header)
+	t.SFence()
+
+	c.redoSplit(t, oldSeg, newSeg, l+1)
+	c.clearJournal(t)
+
+	// Clean moved slots only after the journal is gone: a redo must
+	// still find every entry in the old segment. Leftovers from a crash
+	// here are unreachable (routing is deterministic) and merely occupy
+	// slots.
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(oldSeg, i)
+		k := t.Load64(s + keyOffset)
+		if k != 0 && (hash(k)>>(64-(l+1)))&1 == 1 {
+			t.Store64(s+keyOffset, 0)
+			t.CLFlushOpt(s)
+		}
+	}
+	t.SFence()
+}
+
+// redoSplit performs (or re-performs, idempotently) the journaled split
+// of oldSeg into newSeg at targetDepth: raise the old depth, copy the
+// moved entries, repoint every directory entry that still points at the
+// old segment and routes to the moved half.
+func (c *CCEH) redoSplit(t *cxlmc.Thread, oldSeg, newSeg cxlmc.Addr, targetDepth uint64) {
+	t.Store64(oldSeg, targetDepth)
+	t.CLFlush(oldSeg)
+	t.SFence()
+
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(oldSeg, i)
+		k := t.Load64(s + keyOffset)
+		if k == 0 {
+			continue
+		}
+		if (hash(k)>>(64-targetDepth))&1 == 1 {
+			v := t.Load64(s + valOffset)
+			ns := slotAddr(newSeg, i)
+			t.Store64(ns+valOffset, v)
+			t.Store64(ns+keyOffset, k)
+		}
+	}
+	for off := cxlmc.Addr(0); off < segSize; off += 64 {
+		t.CLFlushOpt(newSeg + off)
+	}
+	t.SFence()
+
+	// Repoint by scanning the directory: entries still pointing at the
+	// old segment whose index carries the new routing bit move to the
+	// new segment. Index bit (g - targetDepth) from the LSB corresponds
+	// to hash bit targetDepth from the top.
+	dir, g := c.loadMeta(t)
+	for i := uint64(0); i < uint64(1)<<g; i++ {
+		e := dir + cxlmc.Addr(8*i)
+		if cxlmc.Addr(t.Load64(e)) == oldSeg && (i>>(g-targetDepth))&1 == 1 {
+			t.Store64(e, uint64(newSeg))
+			t.CLFlushOpt(e)
+		}
+	}
+	t.SFence()
+}
+
+// doubleDirectory doubles the directory: a fresh segment array and a
+// fresh immutable directory object, committed by the single flushed
+// store of the header pointer.
+func (c *CCEH) doubleDirectory(t *cxlmc.Thread) {
+	arr, g := c.loadMeta(t)
+	if g+1 > maxDepth {
+		t.Fail("cceh: directory beyond max depth %d", maxDepth)
+	}
+	size := uint64(8) << g
+	newArr := t.AllocAligned(size*2, 64)
+	for i := uint64(0); i < uint64(1)<<g; i++ {
+		segPtr := t.Load64(arr + cxlmc.Addr(8*i))
+		t.Store64(newArr+cxlmc.Addr(16*i), segPtr)
+		t.Store64(newArr+cxlmc.Addr(16*i+8), segPtr)
+	}
+	for off := cxlmc.Addr(0); off < cxlmc.Addr(size*2); off += 64 {
+		t.CLFlushOpt(newArr + off)
+	}
+	t.SFence()
+	dirObj := c.newDirObject(t, g+1, newArr, true)
+	t.Store64(c.header+offDirMeta, uint64(dirObj))
+	t.CLFlush(c.header)
+	t.SFence()
+}
+
+// Lookup returns the value for key.
+func (c *CCEH) Lookup(t *cxlmc.Thread, key uint64) (uint64, bool) {
+	h := hash(key)
+	dir, g := c.loadMeta(t)
+	seg := cxlmc.Addr(t.Load64(dir + cxlmc.Addr(8*dirIndex(h, g))))
+	start := int(h % slotsPer)
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(seg, (start+i)%slotsPer)
+		if t.Load64(s+keyOffset) == key {
+			return t.Load64(s + valOffset), true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key. The tombstone is a single flushed atomic store of
+// the slot's key word, so a crashed delete is either invisible or
+// complete.
+func (c *CCEH) Delete(t *cxlmc.Thread, key uint64) bool {
+	if c.mu.Lock(t) {
+		c.recover(t)
+	}
+	defer c.mu.Unlock(t)
+	h := hash(key)
+	dir, g := c.loadMeta(t)
+	seg := cxlmc.Addr(t.Load64(dir + cxlmc.Addr(8*dirIndex(h, g))))
+	start := int(h % slotsPer)
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(seg, (start+i)%slotsPer)
+		if t.Load64(s+keyOffset) == key {
+			t.Store64(s+keyOffset, 0)
+			t.CLFlush(s)
+			t.SFence()
+			return true
+		}
+	}
+	return false
+}

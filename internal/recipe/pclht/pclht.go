@@ -1,0 +1,185 @@
+// Package pclht reimplements P-CLHT (the RECIPE port of the Cache-Line
+// Hash Table) over simulated CXL shared memory, with the three
+// constructor/initialization missing-flush bugs of Table 3 (#19–#21).
+//
+// Layout (all in CXL memory):
+//
+//	root   (one line): [0] pointer to the hashtable object
+//	ht obj (one line): [0] bucket count, [8] pointer to the bucket array
+//	bucket (one line): [0] next (chain pointer; the value 1 is the
+//	                   "end of chain" sentinel), [8..31] keys[3],
+//	                   [32..55] vals[3]
+//
+// A bucket's chain word must be initialized to the end sentinel before
+// the bucket is reachable; an uninitialized (zero) chain word reads as a
+// null chain pointer and faults — which is exactly how the paper's
+// "missing flush for hashtable array" bug (#21) manifests after a
+// partial failure.
+package pclht
+
+import (
+	cxlmc "repro"
+	"repro/internal/recipe"
+)
+
+// Seeded bugs (Table 3 numbering).
+const (
+	// BugCtorRootFlush (#19): the clht constructor does not flush the
+	// root pointer to the hashtable object.
+	BugCtorRootFlush recipe.Bug = 1 << iota
+	// BugCtorObjectFlush (#20): the hashtable object (bucket count and
+	// bucket-array pointer) is not flushed.
+	BugCtorObjectFlush
+	// BugCtorArrayFlush (#21): the bucket array's chain-word
+	// initialization is not flushed; post-failure chain walks meet a
+	// null chain pointer.
+	BugCtorArrayFlush
+)
+
+// Benchmark describes P-CLHT to the harness.
+var Benchmark = recipe.Benchmark{
+	Name: "P-CLHT",
+	New:  func(p *cxlmc.Program, bugs recipe.Bug) recipe.Index { return New(p, bugs) },
+	Bugs: []recipe.BugInfo{
+		{Bit: BugCtorRootFlush, Table: 19, Desc: "Missing flush in clht constructor"},
+		{Bit: BugCtorObjectFlush, Table: 20, Desc: "Missing flush for hashtable object"},
+		{Bit: BugCtorArrayFlush, Table: 21, Desc: "Missing flush for hashtable array"},
+	},
+}
+
+const (
+	numBuckets = 8
+	slotsPer   = 3
+	endOfChain = 1 // odd sentinel: never a valid (8-aligned) address
+	nextOff    = 0
+	keyOff     = 8
+	valOff     = 32
+)
+
+// CLHT is one hash table instance.
+type CLHT struct {
+	mu   *cxlmc.Mutex
+	root cxlmc.Addr
+	bugs recipe.Bug
+}
+
+// New lays out a P-CLHT instance (no simulated stores; see Init).
+func New(p *cxlmc.Program, bugs recipe.Bug) *CLHT {
+	return &CLHT{mu: p.NewMutex("pclht"), root: p.AllocAligned(64, 64), bugs: bugs}
+}
+
+func hash(key uint64) uint64 { return (key * 0xC6A4A7935BD1E995) >> 32 }
+
+// Init runs the constructor.
+func (c *CLHT) Init(t *cxlmc.Thread) {
+	buckets := t.AllocAligned(numBuckets*64, 64)
+	for i := 0; i < numBuckets; i++ {
+		t.Store64(buckets+cxlmc.Addr(i*64)+nextOff, endOfChain)
+		if !c.bugs.Has(BugCtorArrayFlush) {
+			t.CLFlushOpt(buckets + cxlmc.Addr(i*64))
+		}
+	}
+	if !c.bugs.Has(BugCtorArrayFlush) {
+		t.SFence()
+	}
+
+	obj := t.AllocAligned(64, 64)
+	t.Store64(obj, numBuckets)
+	t.Store64(obj+8, uint64(buckets))
+	if !c.bugs.Has(BugCtorObjectFlush) {
+		t.CLFlush(obj)
+		t.SFence()
+	}
+
+	t.Store64(c.root, uint64(obj))
+	if !c.bugs.Has(BugCtorRootFlush) {
+		t.CLFlush(c.root)
+		t.SFence()
+	}
+}
+
+// bucketOf routes a key to its home bucket.
+func (c *CLHT) bucketOf(t *cxlmc.Thread, key uint64) cxlmc.Addr {
+	obj := cxlmc.Addr(t.Load64(c.root))
+	n := t.Load64(obj)
+	buckets := cxlmc.Addr(t.Load64(obj + 8))
+	return buckets + cxlmc.Addr((hash(key)%n)*64)
+}
+
+// Insert adds key→val, chaining overflow buckets.
+func (c *CLHT) Insert(t *cxlmc.Thread, key, val uint64) {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	b := c.bucketOf(t, key)
+	for {
+		for i := 0; i < slotsPer; i++ {
+			s := b + keyOff + cxlmc.Addr(8*i)
+			k := t.Load64(s)
+			if k == key || k == 0 {
+				// Value first, then key; one flush covers the line.
+				t.Store64(b+valOff+cxlmc.Addr(8*i), val)
+				t.Store64(s, key)
+				t.CLFlush(b)
+				t.SFence()
+				return
+			}
+		}
+		next := t.Load64(b + nextOff)
+		if next != endOfChain {
+			b = cxlmc.Addr(next)
+			continue
+		}
+		// Chain a fresh overflow bucket: initialize and flush it fully,
+		// then commit by linking it with a flushed store.
+		nb := t.AllocAligned(64, 64)
+		t.Store64(nb+nextOff, endOfChain)
+		t.Store64(nb+valOff, val)
+		t.Store64(nb+keyOff, key)
+		t.CLFlush(nb)
+		t.SFence()
+		t.Store64(b+nextOff, uint64(nb))
+		t.CLFlush(b)
+		t.SFence()
+		return
+	}
+}
+
+// Lookup returns the value for key.
+func (c *CLHT) Lookup(t *cxlmc.Thread, key uint64) (uint64, bool) {
+	b := c.bucketOf(t, key)
+	for {
+		for i := 0; i < slotsPer; i++ {
+			if t.Load64(b+keyOff+cxlmc.Addr(8*i)) == key {
+				return t.Load64(b + valOff + cxlmc.Addr(8*i)), true
+			}
+		}
+		next := t.Load64(b + nextOff)
+		if next == endOfChain {
+			return 0, false
+		}
+		b = cxlmc.Addr(next)
+	}
+}
+
+// Delete removes key with a single flushed atomic tombstone store.
+func (c *CLHT) Delete(t *cxlmc.Thread, key uint64) bool {
+	c.mu.Lock(t)
+	defer c.mu.Unlock(t)
+	b := c.bucketOf(t, key)
+	for {
+		for i := 0; i < slotsPer; i++ {
+			s := b + keyOff + cxlmc.Addr(8*i)
+			if t.Load64(s) == key {
+				t.Store64(s, 0)
+				t.CLFlush(b)
+				t.SFence()
+				return true
+			}
+		}
+		next := t.Load64(b + nextOff)
+		if next == endOfChain {
+			return false
+		}
+		b = cxlmc.Addr(next)
+	}
+}

@@ -1,0 +1,88 @@
+package pmasstree
+
+import (
+	"testing"
+
+	cxlmc "repro"
+	"repro/internal/recipe"
+	"repro/internal/recipe/recipetest"
+)
+
+func TestFunctionalSingleMachine(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 1}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		ms := New(p, 0)
+		a.Thread("t", func(th *cxlmc.Thread) {
+			ms.Init(th)
+			for k := uint64(30); k >= 1; k-- { // descending: shifts everywhere
+				ms.Insert(th, k, recipe.Value(k))
+			}
+			for k := uint64(1); k <= 30; k++ {
+				v, ok := ms.Lookup(th, k)
+				th.Assert(ok, "key %d missing", k)
+				th.Assert(v == recipe.Value(k), "key %d: value %#x", k, v)
+			}
+			ms.Insert(th, 5, 555)
+			v, ok := ms.Lookup(th, 5)
+			th.Assert(ok && v == 555, "update lost")
+			ks, _ := ms.Scan(th)
+			th.Assert(len(ks) == 30, "scan length %d", len(ks))
+			for i := 1; i < len(ks); i++ {
+				th.Assert(ks[i] > ks[i-1], "scan disorder")
+			}
+			_, ok = ms.Lookup(th, 999)
+			th.Assert(!ok, "phantom")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+}
+
+func TestAllBugsDetected(t *testing.T) { recipetest.DetectAll(t, Benchmark) }
+
+func TestFunctionalWithDeletes(t *testing.T) { recipetest.Functional(t, Benchmark, 30) }
+
+func TestFixedCleanWithDeletes(t *testing.T) { recipetest.FixedClean(t, Benchmark, 6, true) }
+
+// TestRecoveryCompaction drives the owner-failed repair directly: a
+// worker machine dies mid-insert (leaving an in-node duplicate), and the
+// next lock owner's recovery must restore a duplicate-free, complete
+// node before any read.
+func TestRecoveryCompaction(t *testing.T) {
+	res, err := cxlmc.Run(cxlmc.Config{MaxExecutions: 2_000_000}, func(p *cxlmc.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		ms := New(p, 0)
+		a.Thread("w", func(th *cxlmc.Thread) {
+			ms.Init(th)
+			ms.Insert(th, 10, recipe.Value(10))
+			ms.Insert(th, 30, recipe.Value(30))
+			ms.Insert(th, 20, recipe.Value(20)) // shifts 30 right
+		})
+		b.Thread("r", func(th *cxlmc.Thread) {
+			th.Join(a)
+			// Every operation takes the lock, so recovery has run before
+			// any of these reads whenever A died holding it.
+			ks, vs := ms.Scan(th)
+			for i := range ks {
+				if i > 0 {
+					th.Assert(ks[i] > ks[i-1], "duplicate survived recovery")
+				}
+				th.Assert(vs[i] == recipe.Value(ks[i]), "value for %d", ks[i])
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+}

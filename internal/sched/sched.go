@@ -1,0 +1,234 @@
+// Package sched provides the deterministic cooperative scheduler CXLMC
+// runs simulated threads on. The paper's implementation (§5) forks real
+// processes and context-switches ucontext threads under a scheduler so
+// every execution replays deterministically; here each simulated thread is
+// a goroutine that runs in strict lock-step with the scheduler: exactly
+// one party (the scheduler or a single granted thread) is ever running,
+// with the baton passed over unbuffered channels. All checker state can
+// therefore be accessed without locks, and a fixed seed fixes the entire
+// schedule (paper §3.2: only crash non-determinism is model checked; the
+// thread interleaving is a deterministic function of the seed).
+package sched
+
+import "fmt"
+
+// State is a simulated thread's scheduling state.
+type State uint8
+
+// Thread states.
+const (
+	// Runnable threads may be granted the baton.
+	Runnable State = iota
+	// Blocked threads wait on a condition (mutex, join) and are skipped
+	// until explicitly made runnable again.
+	Blocked
+	// Finished threads ran their function to completion.
+	Finished
+	// Killed threads belong to a failed machine or were torn down; their
+	// goroutines unwind on their next grant.
+	Killed
+)
+
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Blocked:
+		return "blocked"
+	case Finished:
+		return "finished"
+	case Killed:
+		return "killed"
+	}
+	return "unknown"
+}
+
+// killSentinel is panicked inside a thread to unwind it when its machine
+// fails or the execution is torn down.
+type killSentinel struct{}
+
+// Thread is one simulated thread. Fields are only touched while holding
+// the baton (or by the scheduler while no thread runs), so no locking is
+// needed; the baton channels provide the happens-before edges.
+type Thread struct {
+	ID      int
+	Machine int
+	Name    string
+
+	sch    *Scheduler
+	fn     func(*Thread)
+	state  State
+	resume chan struct{}
+	// exited is set by the goroutine wrapper just before its final yield:
+	// the goroutine is gone and must never be granted again.
+	exited  bool
+	started bool
+	// BlockNote describes what a blocked thread waits for (diagnostics).
+	BlockNote string
+}
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// Scheduler coordinates the baton. It is created fresh for every
+// execution; goroutines never outlive it.
+type Scheduler struct {
+	threads []*Thread
+	yield   chan *Thread
+	// OnPanic receives panics escaping a thread's function (real program
+	// bugs like division by zero). The kill sentinel is filtered out.
+	OnPanic func(t *Thread, v any)
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{yield: make(chan *Thread)}
+}
+
+// NewThread registers a simulated thread running fn. The goroutine starts
+// parked and runs only when granted.
+func (s *Scheduler) NewThread(machine int, name string, fn func(*Thread)) *Thread {
+	t := &Thread{
+		ID:      len(s.threads),
+		Machine: machine,
+		Name:    name,
+		sch:     s,
+		fn:      fn,
+		state:   Runnable,
+		resume:  make(chan struct{}),
+	}
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Threads returns all registered threads in creation order.
+func (s *Scheduler) Threads() []*Thread { return s.threads }
+
+// run is the goroutine wrapper: it converts kill sentinels into clean
+// exits, routes real panics to OnPanic, and always returns the baton.
+func (t *Thread) run() {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, isKill := v.(killSentinel); !isKill {
+				t.state = Killed
+				if t.sch.OnPanic != nil {
+					t.sch.OnPanic(t, v)
+				}
+			}
+		} else {
+			t.state = Finished
+		}
+		t.exited = true
+		t.sch.yield <- t
+	}()
+	<-t.resume
+	if t.state == Killed {
+		panic(killSentinel{})
+	}
+	t.fn(t)
+}
+
+// Grant hands the baton to t, which runs until its next Pause, block or
+// exit. Granting a killed thread unwinds it. The thread must not have
+// exited.
+func (s *Scheduler) Grant(t *Thread) {
+	if t.exited {
+		panic(fmt.Sprintf("sched: Grant to exited thread %d (%s)", t.ID, t.Name))
+	}
+	if !t.started {
+		t.started = true
+		go t.run()
+	}
+	t.resume <- struct{}{}
+	<-s.yield
+}
+
+// Pause yields the baton back to the scheduler and parks until the next
+// grant. If the thread was killed while parked, Pause unwinds the
+// goroutine instead of returning. A killed thread calling Pause — e.g. a
+// deferred unlock running while the kill unwinds the stack — re-panics
+// immediately without yielding, so unwinding never escapes back to the
+// scheduler. It must be called from t's goroutine.
+func (t *Thread) Pause() {
+	if t.state == Killed {
+		panic(killSentinel{})
+	}
+	t.sch.yield <- t
+	<-t.resume
+	if t.state == Killed {
+		panic(killSentinel{})
+	}
+}
+
+// Block marks the thread blocked with a description and yields. The
+// caller re-checks its condition when Pause returns: the scheduler only
+// grants the thread again after something marked it runnable.
+func (t *Thread) Block(note string) {
+	t.state = Blocked
+	t.BlockNote = note
+	t.Pause()
+}
+
+// Wake makes a blocked thread runnable again. It is a no-op for threads
+// in any other state (in particular killed threads stay killed).
+func (t *Thread) Wake() {
+	if t.state == Blocked {
+		t.state = Runnable
+		t.BlockNote = ""
+	}
+}
+
+// Kill marks the thread killed. A parked goroutine unwinds on its next
+// grant; an exited thread is left alone. Kill must not be called on the
+// currently-running thread — use KillSelf for that.
+func (t *Thread) Kill() {
+	if t.state == Finished && t.exited {
+		return
+	}
+	t.state = Killed
+}
+
+// KillSelf unwinds the calling thread immediately. It must be called from
+// t's goroutine; it does not return.
+func (t *Thread) KillSelf() {
+	t.state = Killed
+	panic(killSentinel{})
+}
+
+// Teardown unwinds every goroutine that has not exited. Call it at the
+// end of each execution so goroutines never leak across executions.
+func (s *Scheduler) Teardown() {
+	for _, t := range s.threads {
+		if t.exited || !t.started {
+			continue
+		}
+		t.state = Killed
+		t.resume <- struct{}{}
+		<-s.yield
+		if !t.exited {
+			panic(fmt.Sprintf("sched: thread %d (%s) survived teardown", t.ID, t.Name))
+		}
+	}
+}
+
+// Runnable returns the runnable threads in creation order.
+func (s *Scheduler) Runnable() []*Thread {
+	var out []*Thread
+	for _, t := range s.threads {
+		if t.state == Runnable {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Blocked returns the blocked threads in creation order.
+func (s *Scheduler) Blocked() []*Thread {
+	var out []*Thread
+	for _, t := range s.threads {
+		if t.state == Blocked {
+			out = append(out, t)
+		}
+	}
+	return out
+}
