@@ -5,18 +5,28 @@
 // Usage:
 //
 //	cxlmc -bench CCEH [-keys 10] [-workers 1] [-stride 1] [-bugs 0x3]
-//	      [-gpf] [-poison] [-seed 0] [-max-execs 0] [-trace]
+//	      [-gpf] [-poison] [-seed 0] [-max-execs 0] [-max-time 0] [-trace]
+//	      [-checkpoint file] [-checkpoint-every N] [-checkpoint-interval d]
+//	      [-wedge-timeout d] [-replay token]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
 // P-BwTree, P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress).
 // -bugs is a bitmask enabling that benchmark's seeded bugs (0 = fixed).
+//
+// Long explorations are resilient: -checkpoint persists progress
+// crash-safely and resumes from the same file on restart, Ctrl-C stops
+// gracefully at the next execution boundary (writing a final
+// checkpoint), and -replay re-runs the single execution a reported
+// bug's repro token witnessed, with tracing on.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
 
 	cxlmc "repro"
 	"repro/internal/cxlshm"
@@ -26,18 +36,24 @@ import (
 
 func main() {
 	var (
-		bench    = flag.String("bench", "", "benchmark name (CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-MassTree, kv, test_stress)")
-		keys     = flag.Int("keys", 10, "total keys inserted")
-		workers  = flag.Int("workers", 1, "insert workers per machine")
-		stride   = flag.Int("stride", 1, "key stride")
-		bugsFlag = flag.String("bugs", "0", "seeded-bug bitmask (e.g. 0x3); 0 = all fixed")
-		gpf      = flag.Bool("gpf", false, "assume global persistent flush always succeeds")
-		poison   = flag.Bool("poison", false, "enable CXL memory poisoning")
-		seed     = flag.Int64("seed", 0, "schedule seed")
-		maxExecs = flag.Int("max-execs", 0, "cap on explored executions (0 = exhaustive)")
-		trace    = flag.Bool("trace", false, "stream a per-event trace to stdout")
-		seeds    = flag.Int("seeds", 1, "fuzz across this many schedule seeds (§4.6)")
-		list     = flag.Bool("list", false, "list benchmarks and their seeded bugs")
+		bench      = flag.String("bench", "", "benchmark name (CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-MassTree, kv, test_stress)")
+		keys       = flag.Int("keys", 10, "total keys inserted")
+		workers    = flag.Int("workers", 1, "insert workers per machine")
+		stride     = flag.Int("stride", 1, "key stride")
+		bugsFlag   = flag.String("bugs", "0", "seeded-bug bitmask (e.g. 0x3); 0 = all fixed")
+		gpf        = flag.Bool("gpf", false, "assume global persistent flush always succeeds")
+		poison     = flag.Bool("poison", false, "enable CXL memory poisoning")
+		seed       = flag.Int64("seed", 0, "schedule seed")
+		maxExecs   = flag.Int("max-execs", 0, "cap on explored executions (0 = exhaustive)")
+		maxTime    = flag.Duration("max-time", 0, "wall-clock budget for the exploration (0 = unlimited)")
+		trace      = flag.Bool("trace", false, "stream a per-event trace to stdout")
+		seeds      = flag.Int("seeds", 1, "fuzz across this many schedule seeds (§4.6)")
+		list       = flag.Bool("list", false, "list benchmarks and their seeded bugs")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: resume from it if present, write progress to it")
+		cpEvery    = flag.Int("checkpoint-every", 0, "checkpoint every N executions (0 = off)")
+		cpInterval = flag.Duration("checkpoint-interval", 0, "checkpoint every interval (0 = default 30s when -checkpoint is set)")
+		wedge      = flag.Duration("wedge-timeout", 0, "watchdog for callbacks blocking outside the simulated API (0 = off)")
+		replay     = flag.String("replay", "", "replay a bug's repro token against -bench instead of exploring")
 	)
 	flag.Parse()
 
@@ -49,6 +65,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cxlmc: -bench is required (try -list)")
 		os.Exit(2)
 	}
+	if *checkpoint != "" && *seeds > 1 {
+		fmt.Fprintln(os.Stderr, "cxlmc: -checkpoint tracks a single exploration; use -seeds 1 (one checkpoint file per seed)")
+		os.Exit(2)
+	}
 
 	bugs, err := strconv.ParseUint(*bugsFlag, 0, 32)
 	if err != nil {
@@ -56,7 +76,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := cxlmc.Config{Seed: *seed, GPF: *gpf, Poison: *poison, MaxExecutions: *maxExecs}
+	cfg := cxlmc.Config{
+		Seed: *seed, GPF: *gpf, Poison: *poison,
+		MaxExecutions: *maxExecs, MaxTime: *maxTime,
+		CheckpointPath: *checkpoint, CheckpointEvery: *cpEvery, CheckpointInterval: *cpInterval,
+		WedgeTimeout: *wedge,
+	}
 	if *trace {
 		cfg.Trace = os.Stdout
 	}
@@ -81,12 +106,47 @@ func main() {
 		}
 	}
 
+	if *replay != "" {
+		res, err := cxlmc.Replay(*replay, cfg, program)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
+			os.Exit(1)
+		}
+		fmt.Printf("replayed    %s (seed %d) in %d execution(s), %v\n",
+			*bench, res.Seed, res.Executions, res.Elapsed)
+		if !res.Buggy() {
+			fmt.Println("no bug reproduced — was the program or configuration changed?")
+			os.Exit(1)
+		}
+		for _, b := range res.Bugs {
+			fmt.Printf("  %s\n", b)
+			for _, line := range b.Trace {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		return
+	}
+
+	// Ctrl-C requests graceful interruption: the run stops at the next
+	// execution boundary and, with -checkpoint, persists its progress. A
+	// second Ctrl-C kills the process the usual way.
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "cxlmc: interrupt — stopping at the next execution boundary (Ctrl-C again to kill)")
+		close(stop)
+		signal.Stop(sig)
+	}()
+	cfg.Stop = stop
+
 	buggy := false
 	for s := *seed; s < *seed+int64(*seeds); s++ {
 		cfg.Seed = s
 		res, err := cxlmc.Run(cfg, program)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", err)
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
 			os.Exit(1)
 		}
 		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", *bench, bugs, *gpf, s)
@@ -94,14 +154,30 @@ func main() {
 		fmt.Printf("fpoints     %d\n", res.FailurePoints)
 		fmt.Printf("rfpoints    %d\n", res.ReadFromPoints)
 		fmt.Printf("time        %v\n", res.Elapsed)
+		if res.Resumed {
+			fmt.Println("resumed     from checkpoint")
+		}
+		if res.Interrupted {
+			where := "progress discarded (no -checkpoint)"
+			if *checkpoint != "" {
+				where = "progress saved to " + *checkpoint
+			}
+			fmt.Printf("interrupted %s\n", where)
+		}
 		if res.Buggy() {
 			buggy = true
 			fmt.Printf("BUGS FOUND  %d\n", len(res.Bugs))
 			for _, b := range res.Bugs {
 				fmt.Printf("  %s\n", b)
+				if b.ReproToken != "" {
+					fmt.Printf("    repro: -bench %s -replay %s\n", *bench, b.ReproToken)
+				}
 			}
 		} else {
 			fmt.Println("no bugs found")
+		}
+		if res.Interrupted {
+			break
 		}
 	}
 	if buggy {

@@ -110,11 +110,39 @@ const (
 	BugDeadlock = core.BugDeadlock
 	// BugPoison is a read of a poisoned cache line (Config.Poison).
 	BugPoison = core.BugPoison
+	// BugLivelock is an execution that exceeded Config.MaxStepsPerExec:
+	// threads kept running without terminating (distinct from
+	// BugDeadlock, where nothing could make progress).
+	BugLivelock = core.BugLivelock
+	// BugWedged is a checked-program callback that blocked outside the
+	// simulated API longer than Config.WedgeTimeout, abandoned by the
+	// watchdog instead of hanging the run.
+	BugWedged = core.BugWedged
 )
+
+// InternalError is a violated checker invariant (a bug in cxlmc itself),
+// returned from Run with the seed and decision path needed to reproduce
+// it instead of crashing the caller's process.
+type InternalError = core.InternalError
 
 // Run explores the crashing executions of the program built by setup and
 // returns the bugs found together with exploration statistics. setup is
 // invoked once per execution.
+//
+// Long runs can be made resilient: Config.CheckpointPath persists
+// progress crash-safely and resumes transparently, Config.Stop requests
+// graceful interruption at the next execution boundary, and
+// Config.WedgeTimeout guards against callbacks that block outside the
+// simulated API.
 func Run(cfg Config, setup func(*Program)) (*Result, error) {
 	return core.Run(cfg, setup)
+}
+
+// Replay re-runs exactly the execution a Bug's ReproToken witnessed,
+// with CaptureTrace forced on, and returns that single execution's
+// result. The token pins the seed and is validated against the
+// configuration and the program's structure; a mismatch is rejected with
+// a descriptive error.
+func Replay(token string, cfg Config, setup func(*Program)) (*Result, error) {
+	return core.Replay(token, cfg, setup)
 }

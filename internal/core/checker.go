@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/base64"
 	"fmt"
 	"math/rand"
 	"time"
@@ -20,6 +21,24 @@ type Checker struct {
 	stats   Stats
 	bugs    []Bug
 	seen    map[string]bool
+	// cfgDigest and progDigest identify what is being explored; they are
+	// stamped into checkpoints and repro tokens and validated on
+	// resume/replay. fp is only non-nil while programDigestOf records.
+	cfgDigest  string
+	progDigest string
+	fp         *fingerprint
+	// deadline is the wall-clock cutoff derived from Config.MaxTime
+	// (zero when unlimited); timedOut is set when it fires mid-execution.
+	deadline time.Time
+	timedOut bool
+	// internalErr holds a converted checker-invariant panic; the run
+	// returns it instead of crashing the caller's process.
+	internalErr *InternalError
+	// replaying marks a strict token replay, where a decision divergence
+	// means a stale token (program behaviour changed), not a checker bug;
+	// replayDiverged records it.
+	replaying      bool
+	replayDiverged *decision.Divergence
 
 	// Per-execution state, rebuilt by resetExecution.
 	mem      *memmodel.Memory
@@ -41,33 +60,84 @@ type Checker struct {
 // Run explores the program under cfg and returns the aggregated result.
 // program is invoked once per execution to (re)build machines, threads
 // and initial memory.
+//
+// With Config.CheckpointPath set, Run resumes transparently from an
+// existing checkpoint and periodically (and on every stop) writes new
+// ones, so an interrupted exploration — graceful via Config.Stop or a
+// hard kill — loses at most one checkpoint interval of progress and,
+// when resumed, explores exactly the executions an uninterrupted run
+// would have.
 func Run(cfg Config, program func(*Program)) (result *Result, err error) {
 	if program == nil {
 		return nil, setupError{"nil program"}
 	}
 	cfg.fillDefaults()
+	progDigest, err := programDigestOf(cfg, program)
+	if err != nil {
+		return nil, err
+	}
 	ck := &Checker{
-		cfg:     cfg,
-		program: program,
-		tree:    decision.NewTree(),
-		seen:    make(map[string]bool),
+		cfg:        cfg,
+		program:    program,
+		tree:       decision.NewTree(),
+		seen:       make(map[string]bool),
+		cfgDigest:  configDigest(cfg),
+		progDigest: progDigest,
 	}
 	start := time.Now()
+	if cfg.MaxTime > 0 {
+		ck.deadline = start.Add(cfg.MaxTime)
+	}
+	// prior is the wall-clock time credited from resumed checkpoints, so
+	// Stats.Elapsed stays cumulative across interruptions.
+	var prior time.Duration
+	if cfg.CheckpointPath != "" {
+		cp, err := loadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			if err := ck.adoptCheckpoint(cp); err != nil {
+				return nil, err
+			}
+			prior = cp.Elapsed
+			if cp.Complete || ck.tree.Done() {
+				// The checkpointed exploration already finished; return
+				// its result without re-exploring anything.
+				ck.stats.Complete = true
+				ck.finalizeStats(start, prior)
+				return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
+			}
+		}
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			if se, ok := v.(setupError); ok {
-				err = se
+				result, err = nil, se
+				return
+			}
+			if iv, ok := v.(internalInvariant); ok {
+				result, err = nil, ck.newInternalError(iv.msg)
 				return
 			}
 			panic(v)
 		}
 	}()
+	lastCPExecs, lastCPTime := ck.stats.Executions, start
 	for {
 		ck.tree.Begin()
 		ck.stats.Executions++
 		ck.runOneExecution()
-		foundBug := ck.aborted
+		if ck.internalErr != nil {
+			return nil, ck.internalErr
+		}
+		foundBug := ck.aborted && !ck.timedOut
 		if foundBug && !cfg.ContinueAfterBug {
+			break
+		}
+		if ck.timedOut {
+			// The deadline fired mid-execution; the partial path must not
+			// advance the tree (it would mark an unexplored subtree done).
 			break
 		}
 		if !ck.tree.Advance() {
@@ -80,12 +150,68 @@ func Run(cfg Config, program func(*Program)) (result *Result, err error) {
 		if cfg.MaxTime > 0 && time.Since(start) > cfg.MaxTime {
 			break
 		}
+		if stopRequested(cfg.Stop) {
+			ck.stats.Interrupted = true
+			break
+		}
+		if ck.shouldCheckpoint(lastCPExecs, lastCPTime) {
+			if err := writeCheckpointFile(cfg.CheckpointPath, ck.checkpointNow(start, prior)); err != nil {
+				return nil, err
+			}
+			lastCPExecs, lastCPTime = ck.stats.Executions, time.Now()
+		}
 	}
+	ck.minimizeTokens()
+	ck.finalizeStats(start, prior)
+	if cfg.CheckpointPath != "" {
+		if err := writeCheckpointFile(cfg.CheckpointPath, ck.checkpointNow(start, prior)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
+}
+
+// finalizeStats fills the derived statistics fields.
+func (ck *Checker) finalizeStats(start time.Time, prior time.Duration) {
 	ck.stats.FailurePoints = ck.tree.Created(decision.KindFailure)
 	ck.stats.ReadFromPoints = ck.tree.Created(decision.KindReadFrom)
 	ck.stats.PoisonPoints = ck.tree.Created(decision.KindPoison)
-	ck.stats.Elapsed = time.Since(start)
-	return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
+	ck.stats.Elapsed = prior + time.Since(start)
+}
+
+// shouldCheckpoint reports whether either checkpoint cadence is due.
+func (ck *Checker) shouldCheckpoint(lastExecs int, lastTime time.Time) bool {
+	if ck.cfg.CheckpointPath == "" {
+		return false
+	}
+	if ck.cfg.CheckpointEvery > 0 && ck.stats.Executions-lastExecs >= ck.cfg.CheckpointEvery {
+		return true
+	}
+	return ck.cfg.CheckpointInterval > 0 && time.Since(lastTime) >= ck.cfg.CheckpointInterval
+}
+
+// stopRequested polls the graceful-interruption channel.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// newInternalError packages a violated checker invariant with the
+// context needed to reproduce it.
+func (ck *Checker) newInternalError(msg string) *InternalError {
+	return &InternalError{
+		Msg:       msg,
+		Seed:      ck.cfg.Seed,
+		Execution: ck.stats.Executions,
+		Path:      base64.RawURLEncoding.EncodeToString(decision.EncodePath(ck.tree.Path())),
+	}
 }
 
 // resetExecution rebuilds all per-execution state and re-runs program
@@ -120,11 +246,20 @@ func (ck *Checker) runOneExecution() {
 	defer ck.sch.Teardown()
 
 	steps := 0
-	for !ck.aborted {
+	// timedOut also ends the loop: after the grant watchdog abandons a
+	// thread on deadline expiry, granting again would block forever on the
+	// abandoned thread's resume channel.
+	for !ck.aborted && !ck.timedOut {
 		steps++
 		ck.stats.Steps++
 		if steps > ck.cfg.MaxStepsPerExec {
-			ck.reportBug(BugDeadlock, fmt.Sprintf("step limit exceeded (%d): livelock in checked program?", ck.cfg.MaxStepsPerExec), nil)
+			ck.reportBug(BugLivelock, fmt.Sprintf("step limit exceeded (%d): livelock in checked program?", ck.cfg.MaxStepsPerExec), nil)
+			return
+		}
+		// Honor MaxTime mid-execution, at step granularity; the check is
+		// throttled so the hot loop does not pay a clock read per step.
+		if !ck.deadline.IsZero() && steps&1023 == 0 && time.Now().After(ck.deadline) {
+			ck.timedOut = true
 			return
 		}
 
@@ -203,15 +338,50 @@ func (ck *Checker) committableBuffers() []commitTarget {
 }
 
 // grantOne hands the baton to a seeded-random runnable thread, then
-// processes completion wakeups.
+// processes completion wakeups. When a watchdog budget applies, a thread
+// that fails to yield in time is abandoned: either it wedged (blocked
+// outside the simulated API — reported as a bug) or the run's deadline
+// expired while it ran.
 func (ck *Checker) grantOne(runnable []*Thread) {
 	t := runnable[ck.rng.Intn(len(runnable))]
 	ck.current = t
-	ck.sch.Grant(t.st)
+	if d, isWedgeBudget := ck.grantBudget(); d > 0 {
+		if !ck.sch.GrantTimeout(t.st, d) {
+			ck.current = nil
+			if isWedgeBudget {
+				ck.reportBug(BugWedged, fmt.Sprintf(
+					"thread %s/%s did not yield within %v: callback blocking outside the simulated API?",
+					t.mach.name, t.name, d), t)
+			} else {
+				ck.timedOut = true
+			}
+			return
+		}
+	} else {
+		ck.sch.Grant(t.st)
+	}
 	ck.current = nil
 	if t.quiesced() {
 		ck.wakeJoiners(t.mach)
 	}
+}
+
+// grantBudget returns the watchdog budget for one grant and whether the
+// binding constraint is WedgeTimeout (true) or the run deadline (false).
+// 0 means no watchdog: the plain, timer-free grant path.
+func (ck *Checker) grantBudget() (time.Duration, bool) {
+	w := ck.cfg.WedgeTimeout
+	if ck.deadline.IsZero() {
+		return w, true
+	}
+	m := time.Until(ck.deadline)
+	if m < time.Millisecond {
+		m = time.Millisecond
+	}
+	if w > 0 && w < m {
+		return w, true
+	}
+	return m, false
 }
 
 // commitOne commits one buffer head chosen by the seeded schedule.
@@ -290,7 +460,25 @@ func (ck *Checker) failMachine(m *Machine, why string) {
 
 // onThreadPanic converts a Go panic escaping benchmark code into a bug
 // report (e.g. a division by zero — the class of Table 4's bug 2).
+// Checker-invariant panics and replay divergence are not program bugs:
+// they become the run's InternalError instead of a Bug, so the caller
+// gets a structured report (with seed and decision path) rather than a
+// crashed process or a misattributed finding.
 func (ck *Checker) onThreadPanic(st *sched.Thread, v any) {
+	if iv, ok := v.(internalInvariant); ok {
+		ck.internalErr = ck.newInternalError(iv.msg)
+		ck.aborted = true
+		return
+	}
+	if d, ok := v.(decision.Divergence); ok {
+		if ck.replaying {
+			ck.replayDiverged = &d
+		} else {
+			ck.internalErr = ck.newInternalError(d.Error())
+		}
+		ck.aborted = true
+		return
+	}
 	var t *Thread
 	for _, c := range ck.threads {
 		if c.st == st {
@@ -317,6 +505,14 @@ func (ck *Checker) reportBug(kind BugKind, msg string, t *Thread) {
 	}
 	if ck.cfg.CaptureTrace {
 		b.Trace = append([]string(nil), ck.traceLog...)
+	}
+	if ck.progDigest != "" {
+		b.ReproToken = encodeReproToken(reproToken{
+			Seed:    ck.cfg.Seed,
+			Config:  ck.cfgDigest,
+			Program: ck.progDigest,
+			Path:    decision.EncodePath(ck.tree.Path()),
+		})
 	}
 	ck.bugs = append(ck.bugs, b)
 	ck.tracef("BUG %s", b)

@@ -251,8 +251,8 @@ func TestStepLimitReportsLivelock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Buggy() || res.Bugs[0].Kind != BugDeadlock {
-		t.Fatalf("bugs = %v, want step-limit report", res.Bugs)
+	if !res.Buggy() || res.Bugs[0].Kind != BugLivelock {
+		t.Fatalf("bugs = %v, want step-limit livelock report", res.Bugs)
 	}
 }
 

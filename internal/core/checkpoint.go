@@ -1,0 +1,201 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io/fs"
+	"os"
+	"time"
+
+	"repro/internal/decision"
+)
+
+// This file implements crash-consistent checkpointing of an exploration:
+// the decision-tree frontier, cumulative statistics and the bugs found
+// so far are written to Config.CheckpointPath (temp file + rename, so a
+// kill mid-write never corrupts the previous checkpoint), and a later
+// run with the same seed, configuration and program resumes exactly
+// where the checkpoint left off. Identity is enforced with digests: a
+// checkpoint (or repro token) recorded under a different configuration
+// or program structure is rejected with a descriptive error instead of
+// silently exploring garbage.
+
+// checkpointVersion is bumped whenever the on-disk encoding changes.
+const checkpointVersion = 1
+
+// checkpointData is the JSON envelope written to CheckpointPath. The
+// tree snapshot inside it uses the decision package's own versioned
+// binary encoding (JSON base64s the bytes).
+type checkpointData struct {
+	Version       int           `json:"version"`
+	Seed          int64         `json:"seed"`
+	ConfigDigest  string        `json:"config_digest"`
+	ProgramDigest string        `json:"program_digest"`
+	Tree          []byte        `json:"tree"`
+	Executions    int           `json:"executions"`
+	Steps         int64         `json:"steps"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	Complete      bool          `json:"complete"`
+	Interrupted   bool          `json:"interrupted"`
+	Bugs          []Bug         `json:"bugs,omitempty"`
+}
+
+// configDigest fingerprints the configuration fields that shape the
+// decision tree. Budget and reporting knobs (MaxExecutions, MaxTime,
+// Stop, checkpoint cadence, tracing) are deliberately excluded: resuming
+// with a different budget is the point of checkpoints. The seed is
+// checked separately for a clearer error message.
+func configDigest(cfg Config) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"cxlmc-config-v1 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t",
+		cfg.GPF, cfg.Poison, cfg.MaxStepsPerExec, cfg.MemSize, cfg.CommitChance, cfg.EagerReadSet)))
+	return hex.EncodeToString(h[:8])
+}
+
+// fingerprint hashes the structural events of program setup (machines,
+// threads, allocations, initial writes, mutexes) into the program
+// digest. A nil fingerprint records nothing, so the per-execution setup
+// path pays nothing once the digest is known.
+type fingerprint struct{ h hash.Hash }
+
+func (f *fingerprint) record(parts ...any) {
+	if f == nil {
+		return
+	}
+	fmt.Fprintln(f.h, parts...)
+}
+
+// programDigestOf fingerprints the program's setup-time structure by
+// running setup once against a scratch checker (threads are registered
+// but never started, so nothing simulated runs). A panic during setup is
+// returned as the same setupError a real run would produce.
+func programDigestOf(cfg Config, program func(*Program)) (digest string, err error) {
+	fp := &fingerprint{h: sha256.New()}
+	ck := &Checker{
+		cfg:     cfg,
+		program: program,
+		tree:    decision.NewTree(),
+		seen:    make(map[string]bool),
+		fp:      fp,
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			if se, ok := v.(setupError); ok {
+				err = se
+				return
+			}
+			panic(v)
+		}
+	}()
+	ck.resetExecution()
+	ck.sch.Teardown()
+	return hex.EncodeToString(fp.h.Sum(nil))[:16], nil
+}
+
+// loadCheckpoint reads and validates the checkpoint file at path. A
+// missing file is not an error (the run simply starts fresh); a
+// corrupt or version-mismatched file is.
+func loadCheckpoint(path string) (*checkpointData, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cxlmc: reading checkpoint %s: %w", path, err)
+	}
+	var cp checkpointData
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return nil, fmt.Errorf("cxlmc: checkpoint %s is corrupt: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("cxlmc: checkpoint %s has version %d, this build reads version %d",
+			path, cp.Version, checkpointVersion)
+	}
+	return &cp, nil
+}
+
+// writeCheckpointFile writes cp crash-safely: the bytes go to a sibling
+// temp file which is fsynced and atomically renamed over path, so a
+// crash at any point leaves either the old checkpoint or the new one,
+// never a torn file.
+func writeCheckpointFile(path string, cp *checkpointData) error {
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("cxlmc: encoding checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cxlmc: writing checkpoint: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpointNow captures the checker's current between-executions state.
+func (ck *Checker) checkpointNow(start time.Time, prior time.Duration) *checkpointData {
+	return &checkpointData{
+		Version:       checkpointVersion,
+		Seed:          ck.cfg.Seed,
+		ConfigDigest:  ck.cfgDigest,
+		ProgramDigest: ck.progDigest,
+		Tree:          ck.tree.Snapshot(),
+		Executions:    ck.stats.Executions,
+		Steps:         ck.stats.Steps,
+		Elapsed:       prior + time.Since(start),
+		Complete:      ck.stats.Complete,
+		Interrupted:   ck.stats.Interrupted,
+		Bugs:          ck.bugs,
+	}
+}
+
+// adoptCheckpoint validates cp against this run's identity and restores
+// the exploration state from it.
+func (ck *Checker) adoptCheckpoint(cp *checkpointData) error {
+	path := ck.cfg.CheckpointPath
+	if cp.Seed != ck.cfg.Seed {
+		return fmt.Errorf("cxlmc: checkpoint %s was written for seed %d, this run uses seed %d: delete the checkpoint or match the seed",
+			path, cp.Seed, ck.cfg.Seed)
+	}
+	if cp.ConfigDigest != ck.cfgDigest {
+		return fmt.Errorf("cxlmc: checkpoint %s was written under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize must match",
+			path, cp.ConfigDigest, ck.cfgDigest)
+	}
+	if cp.ProgramDigest != ck.progDigest {
+		return fmt.Errorf("cxlmc: checkpoint %s was written for a different program (digest %s, this program %s): the program structure changed since the checkpoint",
+			path, cp.ProgramDigest, ck.progDigest)
+	}
+	if err := ck.tree.Restore(cp.Tree); err != nil {
+		return fmt.Errorf("cxlmc: checkpoint %s: %w", path, err)
+	}
+	ck.stats.Executions = cp.Executions
+	ck.stats.Steps = cp.Steps
+	ck.stats.Complete = cp.Complete
+	ck.stats.Resumed = true
+	ck.bugs = append([]Bug(nil), cp.Bugs...)
+	for _, b := range ck.bugs {
+		ck.seen[b.Kind.String()+":"+b.Message] = true
+	}
+	return nil
+}

@@ -99,6 +99,43 @@ type Config struct {
 	// TraceDepth bounds the captured trace; 0 means the default of 256
 	// lines.
 	TraceDepth int
+
+	// CheckpointPath names a file the checker writes crash-safe
+	// exploration checkpoints to (temp file + rename). When the file
+	// already exists at the start of a run, the run transparently resumes
+	// from it; a checkpoint written for a different seed, configuration
+	// or program is rejected with a descriptive error. A final checkpoint
+	// is written whenever the run stops, so an interrupted (or killed)
+	// exploration can always be continued.
+	CheckpointPath string
+
+	// CheckpointEvery writes a checkpoint each time this many executions
+	// complete since the last one; 0 disables the execution-count cadence.
+	CheckpointEvery int
+
+	// CheckpointInterval writes a checkpoint whenever this much
+	// wall-clock time has passed since the last one; 0 disables the
+	// timed cadence. When CheckpointPath is set and both cadences are 0,
+	// a 30-second interval is used.
+	CheckpointInterval time.Duration
+
+	// Stop, when non-nil, requests graceful interruption: when the
+	// channel is closed (or sent to), the run stops at the next execution
+	// boundary, writes a final checkpoint (if CheckpointPath is set) and
+	// returns with Stats.Interrupted true. cmd/cxlmc wires SIGINT here.
+	Stop <-chan struct{}
+
+	// WedgeTimeout bounds the wall-clock time a simulated thread may run
+	// between scheduler yields. A checked-program callback that blocks
+	// outside the simulated API (a real channel receive, a syscall) hangs
+	// the lock-step scheduler forever without it; with it, the watchdog
+	// abandons the thread, reports a BugWedged, and the run continues.
+	// It must be generous relative to a single callback's compute time
+	// (the watchdog cannot tell "blocked" from "still computing"); values
+	// under a second are for tests. 0 disables the watchdog, unless
+	// MaxTime is set — the same mechanism makes MaxTime effective
+	// mid-execution.
+	WedgeTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +155,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.TraceDepth == 0 {
 		c.TraceDepth = 256
+	}
+	if c.CheckpointPath != "" && c.CheckpointEvery == 0 && c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 }
 
@@ -139,6 +179,14 @@ const (
 	BugDeadlock
 	// BugPoison is a read of a poisoned cache line (Poison mode).
 	BugPoison
+	// BugLivelock means an execution exceeded MaxStepsPerExec: threads
+	// kept running without the program terminating. Distinct from
+	// BugDeadlock, where no thread could make progress at all.
+	BugLivelock
+	// BugWedged means a checked-program callback blocked outside the
+	// simulated API for longer than the watchdog allowed (WedgeTimeout),
+	// so the lock-step scheduler abandoned it instead of hanging.
+	BugWedged
 )
 
 func (k BugKind) String() string {
@@ -153,6 +201,10 @@ func (k BugKind) String() string {
 		return "deadlock"
 	case BugPoison:
 		return "poison"
+	case BugLivelock:
+		return "livelock"
+	case BugWedged:
+		return "wedged"
 	}
 	return "unknown"
 }
@@ -167,6 +219,13 @@ type Bug struct {
 	// Trace holds the buggy execution's most recent events when
 	// Config.CaptureTrace was set.
 	Trace []string
+	// ReproToken is a self-contained, base64-encoded witness of the buggy
+	// execution: seed, configuration and program digests, and the
+	// decision path. Pass it to Replay to re-run exactly this execution
+	// with tracing on. Failure-injection branches that are not needed for
+	// the bug to reproduce are pruned from the token before it is
+	// reported.
+	ReproToken string `json:",omitempty"`
 }
 
 func (b Bug) String() string {
@@ -193,6 +252,12 @@ type Stats struct {
 	// Complete reports whether the decision tree was fully explored
 	// (false when MaxExecutions stopped the run or a bug aborted it).
 	Complete bool
+	// Interrupted reports that the run was stopped via Config.Stop.
+	Interrupted bool
+	// Resumed reports that the run restored earlier progress from
+	// Config.CheckpointPath. Executions, Steps and Elapsed are cumulative
+	// across the original run and every resumption.
+	Resumed bool
 }
 
 // Result is the outcome of a model-checking run.
@@ -212,3 +277,34 @@ func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
 type setupError struct{ v any }
 
 func (e setupError) Error() string { return fmt.Sprintf("cxlmc: program setup failed: %v", e.v) }
+
+// InternalError reports a violated checker invariant (a bug in cxlmc
+// itself, not in the checked program). Instead of crashing the caller's
+// process, Run returns it with everything needed to reproduce: the seed
+// and the base64-encoded decision path of the failing execution.
+type InternalError struct {
+	// Msg is the violated invariant.
+	Msg string
+	// Seed is the run's schedule seed.
+	Seed int64
+	// Execution is the 1-based index of the failing execution.
+	Execution int
+	// Path is the base64 (raw URL alphabet) encoding of the failing
+	// execution's decision path.
+	Path string
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("cxlmc: internal checker error: %s (seed %d, execution %d, decision path %s) — please report this",
+		e.Msg, e.Seed, e.Execution, e.Path)
+}
+
+// internalInvariant is panicked at checker invariant violations and
+// converted into an *InternalError by Run instead of crashing the
+// caller's process.
+type internalInvariant struct{ msg string }
+
+// internalPanic reports a violated checker invariant.
+func internalPanic(msg string) {
+	panic(internalInvariant{msg})
+}

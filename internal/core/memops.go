@@ -129,7 +129,7 @@ func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Ca
 	if ck.cfg.EagerReadSet {
 		r := rc.BuildMayReadFrom(b)
 		if len(r) == 0 {
-			panic("cxlmc: empty read-from set (checker invariant violated)")
+			internalPanic("empty read-from set")
 		}
 		if len(r) == 1 {
 			return r[0]
@@ -139,7 +139,7 @@ func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Ca
 	it := rc.Candidates(b)
 	c, ok := it.Next()
 	if !ok {
-		panic("cxlmc: empty read-from set (checker invariant violated)")
+		internalPanic("empty read-from set")
 	}
 	for it.HasMore() {
 		if ck.tree.Choose(decision.KindReadFrom, 2) == 0 {

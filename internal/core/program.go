@@ -37,6 +37,7 @@ func (p *Program) NewMachine(name string) *Machine {
 	}
 	m := &Machine{ck: ck, id: MachineID(len(ck.machines)), name: name}
 	ck.machines = append(ck.machines, m)
+	ck.fp.record("machine", name)
 	return m
 }
 
@@ -68,6 +69,7 @@ func (m *Machine) Thread(name string, fn func(*Thread)) *Thread {
 	t.st = ck.sch.NewThread(int(m.id), name, func(*sched.Thread) { fn(t) })
 	m.threads = append(m.threads, t)
 	ck.threads = append(ck.threads, t)
+	ck.fp.record("thread", m.name, name)
 	return t
 }
 
@@ -93,6 +95,7 @@ func (p *Program) AllocAligned(size, align uint64) Addr {
 func (p *Program) Init64(addr Addr, val uint64) {
 	p.ck.checkRange(addr, 8)
 	p.ck.mem.InitWrite(addr, 8, val)
+	p.ck.fp.record("init", addr, val)
 }
 
 // NewMutex creates a mutex with the paper's failure-aware semantics (§5):
@@ -102,6 +105,7 @@ func (p *Program) Init64(addr Addr, val uint64) {
 func (p *Program) NewMutex(name string) *Mutex {
 	mu := &Mutex{ck: p.ck, name: name}
 	p.ck.mutexes = append(p.ck.mutexes, mu)
+	p.ck.fp.record("mutex", name)
 	return mu
 }
 
@@ -120,6 +124,7 @@ func (ck *Checker) alloc(size, align uint64) Addr {
 		panic(fmt.Sprintf("cxlmc: simulated CXL region exhausted (%d bytes; raise Config.MemSize)", ck.cfg.MemSize))
 	}
 	ck.heapNext = Addr(next + size)
+	ck.fp.record("alloc", size, align)
 	return Addr(next)
 }
 

@@ -23,8 +23,19 @@ type Thread struct {
 
 // enter marks an instruction boundary: the thread yields to the scheduler
 // and resumes when granted again. Every simulated instruction starts
-// here.
+// here. A thread the watchdog abandoned unwinds inside Pause instead of
+// yielding.
 func (t *Thread) enter() { t.st.Pause() }
+
+// guard unwinds a watchdog-abandoned thread before it can touch shared
+// checker state. It backs the few Thread methods that deliberately do
+// not yield (Assert, Fail, Alloc) — everything else is covered by the
+// same check inside enter/Pause.
+func (t *Thread) guard() {
+	if t.st.Wedged() {
+		t.st.KillSelf()
+	}
+}
 
 // Name returns the thread's name.
 func (t *Thread) Name() string { return t.name }
@@ -134,10 +145,10 @@ func (t *Thread) FetchAdd32(a Addr, delta uint32) (prev uint32) {
 // metadata; its crash consistency is not part of the checked program
 // (benchmarks that check allocator recovery, like CXL-SHM, keep their
 // metadata in simulated memory explicitly).
-func (t *Thread) Alloc(size uint64) Addr { return t.ck.alloc(size, 8) }
+func (t *Thread) Alloc(size uint64) Addr { t.guard(); return t.ck.alloc(size, 8) }
 
 // AllocAligned is Alloc with explicit power-of-two alignment.
-func (t *Thread) AllocAligned(size, align uint64) Addr { return t.ck.alloc(size, align) }
+func (t *Thread) AllocAligned(size, align uint64) Addr { t.guard(); return t.ck.alloc(size, align) }
 
 // Assert reports a bug and halts the execution when cond is false — the
 // analogue of an assert() in an instrumented C program.
@@ -145,11 +156,13 @@ func (t *Thread) Assert(cond bool, format string, args ...any) {
 	if cond {
 		return
 	}
+	t.guard()
 	t.ck.reportBugHere(BugAssertion, fmt.Sprintf(format, args...))
 }
 
 // Fail reports a bug unconditionally and halts the execution.
 func (t *Thread) Fail(format string, args ...any) {
+	t.guard()
 	t.ck.reportBugHere(BugAssertion, fmt.Sprintf(format, args...))
 }
 

@@ -55,6 +55,23 @@ type Tree struct {
 	created [numKinds]int
 	execs   int
 	done    bool
+	// lenient replays tolerate divergence from the recorded prefix: the
+	// stale suffix is truncated and exploration continues with default
+	// branches. Used by path minimization, which perturbs recorded paths.
+	lenient bool
+}
+
+// Divergence is panicked by Choose when a replayed execution requests a
+// decision that disagrees with the recorded node — the checker lost
+// determinism, which is an internal invariant violation.
+type Divergence struct {
+	Depth         int
+	Recorded, Got string
+}
+
+func (d Divergence) Error() string {
+	return fmt.Sprintf("decision: replay diverged at depth %d: recorded %s, got %s",
+		d.Depth, d.Recorded, d.Got)
 }
 
 // NewTree returns an empty tree positioned before the first execution.
@@ -79,14 +96,22 @@ func (t *Tree) Choose(kind Kind, n int) int {
 	}
 	if t.depth < len(t.nodes) {
 		nd := &t.nodes[t.depth]
-		if nd.kind != kind || nd.n != n {
+		if nd.kind == kind && nd.n == n {
+			t.depth++
+			return nd.chosen
+		}
+		if !t.lenient {
 			// A divergent replay means the checker is not deterministic —
 			// a checker bug worth failing loudly on.
-			panic(fmt.Sprintf("decision: replay diverged at depth %d: recorded %v/%d, got %v/%d",
-				t.depth, nd.kind, nd.n, kind, n))
+			panic(Divergence{
+				Depth:    t.depth,
+				Recorded: fmt.Sprintf("%v/%d", nd.kind, nd.n),
+				Got:      fmt.Sprintf("%v/%d", kind, n),
+			})
 		}
-		t.depth++
-		return nd.chosen
+		// Lenient replay: the perturbed prefix invalidated the recorded
+		// suffix; drop it and continue with default branches.
+		t.nodes = t.nodes[:t.depth]
 	}
 	t.nodes = append(t.nodes, node{kind: kind, n: n})
 	t.created[kind]++

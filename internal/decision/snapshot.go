@@ -1,0 +1,203 @@
+package decision
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the serializable views of the decision tree that
+// the checkpoint/resume and bug-replay machinery is built on:
+//
+//   - Snapshot/Restore persist the whole exploration frontier (node
+//     stack, execution count, per-kind creation counters, exhaustion)
+//     in a compact versioned binary encoding, so an interrupted run can
+//     continue exactly where it left off.
+//   - Path/EncodePath/DecodePath capture one execution's branch
+//     sequence — the replayable witness a Bug's repro token carries.
+//
+// Both encodings are self-describing (magic byte + version) so a stale
+// or corrupt file is rejected with an error instead of being
+// misinterpreted.
+
+// Step is one resolved decision point along an execution path: what was
+// chosen (Chosen) among how many branches (N) of which Kind.
+type Step struct {
+	Kind   Kind
+	N      int
+	Chosen int
+}
+
+// Encoding magics and versions. The node payload is shared between the
+// two encodings; only the envelope differs.
+const (
+	snapshotMagic   = 0xD7 // full-tree snapshot
+	pathMagic       = 0xD8 // single-execution path
+	snapshotVersion = 1
+)
+
+func appendNodes(buf []byte, nodes []node) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, nd := range nodes {
+		buf = append(buf, byte(nd.kind))
+		buf = binary.AppendUvarint(buf, uint64(nd.n))
+		buf = binary.AppendUvarint(buf, uint64(nd.chosen))
+	}
+	return buf
+}
+
+func parseNodes(buf []byte) ([]node, []byte, error) {
+	count, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("decision: truncated node count")
+	}
+	buf = buf[k:]
+	if count > 1<<30 {
+		return nil, nil, fmt.Errorf("decision: implausible node count %d", count)
+	}
+	nodes := make([]node, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(buf) == 0 {
+			return nil, nil, fmt.Errorf("decision: truncated node %d", i)
+		}
+		kind := Kind(buf[0])
+		buf = buf[1:]
+		if kind >= numKinds {
+			return nil, nil, fmt.Errorf("decision: node %d has unknown kind %d", i, kind)
+		}
+		n, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("decision: truncated arity of node %d", i)
+		}
+		buf = buf[k:]
+		chosen, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("decision: truncated branch of node %d", i)
+		}
+		buf = buf[k:]
+		if n < 1 || chosen >= n {
+			return nil, nil, fmt.Errorf("decision: node %d chooses branch %d of %d", i, chosen, n)
+		}
+		nodes = append(nodes, node{kind: kind, n: int(n), chosen: int(chosen)})
+	}
+	return nodes, buf, nil
+}
+
+// Snapshot serializes the tree's full exploration state. It is intended
+// to be taken between executions (after Advance); the replay cursor is
+// not part of the snapshot and restores to the root.
+func (t *Tree) Snapshot() []byte {
+	buf := []byte{snapshotMagic, snapshotVersion}
+	buf = binary.AppendUvarint(buf, uint64(t.execs))
+	if t.done {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, c := range t.created {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return appendNodes(buf, t.nodes)
+}
+
+// Restore replaces the tree's state with a previously-taken Snapshot,
+// validating the encoding. The replay cursor returns to the root, ready
+// for Begin.
+func (t *Tree) Restore(data []byte) error {
+	if len(data) < 3 || data[0] != snapshotMagic {
+		return fmt.Errorf("decision: not a tree snapshot")
+	}
+	if data[1] != snapshotVersion {
+		return fmt.Errorf("decision: unsupported snapshot version %d (want %d)", data[1], snapshotVersion)
+	}
+	buf := data[2:]
+	execs, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return fmt.Errorf("decision: truncated execution count")
+	}
+	buf = buf[k:]
+	if len(buf) == 0 {
+		return fmt.Errorf("decision: truncated exhaustion flag")
+	}
+	done := buf[0] != 0
+	buf = buf[1:]
+	var created [numKinds]int
+	for i := range created {
+		c, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return fmt.Errorf("decision: truncated creation counter %d", i)
+		}
+		created[i] = int(c)
+		buf = buf[k:]
+	}
+	nodes, rest, err := parseNodes(buf)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("decision: %d trailing bytes after snapshot", len(rest))
+	}
+	t.nodes = nodes
+	t.depth = 0
+	t.created = created
+	t.execs = int(execs)
+	t.done = done
+	return nil
+}
+
+// Path returns the current execution's branch sequence: every decision
+// point resolved since Begin, in order. Taken at a bug report it is the
+// execution's replayable witness.
+func (t *Tree) Path() []Step {
+	steps := make([]Step, t.depth)
+	for i, nd := range t.nodes[:t.depth] {
+		steps[i] = Step{Kind: nd.kind, N: nd.n, Chosen: nd.chosen}
+	}
+	return steps
+}
+
+// EncodePath serializes a branch sequence compactly.
+func EncodePath(steps []Step) []byte {
+	nodes := make([]node, len(steps))
+	for i, s := range steps {
+		nodes[i] = node{kind: s.Kind, n: s.N, chosen: s.Chosen}
+	}
+	return appendNodes([]byte{pathMagic, snapshotVersion}, nodes)
+}
+
+// DecodePath parses a branch sequence produced by EncodePath.
+func DecodePath(data []byte) ([]Step, error) {
+	if len(data) < 2 || data[0] != pathMagic {
+		return nil, fmt.Errorf("decision: not a path encoding")
+	}
+	if data[1] != snapshotVersion {
+		return nil, fmt.Errorf("decision: unsupported path version %d (want %d)", data[1], snapshotVersion)
+	}
+	nodes, rest, err := parseNodes(data[2:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("decision: %d trailing bytes after path", len(rest))
+	}
+	steps := make([]Step, len(nodes))
+	for i, nd := range nodes {
+		steps[i] = Step{Kind: nd.kind, N: nd.n, Chosen: nd.chosen}
+	}
+	return steps, nil
+}
+
+// NewReplayTree returns a tree preloaded with a recorded path, ready to
+// replay exactly that execution: Begin then Choose return the recorded
+// branches, and decision points past the recorded prefix default to
+// their first branch. With lenient set, a Choose that disagrees with the
+// recorded node (kind or arity) truncates the remaining recorded suffix
+// and continues fresh instead of panicking — the mode path minimization
+// uses when it perturbs a recorded path.
+func NewReplayTree(steps []Step, lenient bool) *Tree {
+	t := &Tree{lenient: lenient}
+	t.nodes = make([]node, len(steps))
+	for i, s := range steps {
+		t.nodes[i] = node{kind: s.Kind, n: s.N, chosen: s.Chosen}
+	}
+	return t
+}

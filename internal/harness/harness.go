@@ -60,6 +60,23 @@ func BugHunt(b recipe.Benchmark, bi recipe.BugInfo, base cxlmc.Config) (*cxlmc.R
 	return cxlmc.Run(base, recipe.Program(b, cfg))
 }
 
+// HuntDiagnosis renders a one-line post-mortem for a bug hunt that
+// stopped without the expected detection: how much of the space was
+// explored and why the hunt ended. Tests print it instead of a bare
+// "not detected" so a miss is immediately attributable to an exhausted
+// budget, an interrupted run, or a genuinely clean exploration.
+func HuntDiagnosis(res *cxlmc.Result) string {
+	why := "execution budget exhausted"
+	switch {
+	case res.Complete:
+		why = "state space explored completely — the bug is not reachable under this seed"
+	case res.Interrupted:
+		why = "run was interrupted before the budget"
+	}
+	return fmt.Sprintf("%d executions (%d fpoints, %d rfpoints) in %v, seed %d: %s",
+		res.Executions, res.FailurePoints, res.ReadFromPoints, res.Elapsed, res.Seed, why)
+}
+
 // Table3Row is one row of the Table 3 reproduction: a seeded RECIPE bug
 // and whether the checker found it.
 type Table3Row struct {

@@ -21,7 +21,7 @@ func TestTable3AllBugsDetected(t *testing.T) {
 					t.Fatal(err)
 				}
 				if !res.Buggy() {
-					t.Fatalf("bug #%d (%s) not detected in %d executions", bi.Table, bi.Desc, res.Executions)
+					t.Fatalf("bug #%d (%s) not detected: %s", bi.Table, bi.Desc, HuntDiagnosis(res))
 				}
 				t.Logf("bug #%d detected as %s after %d executions (%v)",
 					bi.Table, res.Bugs[0].Kind, res.Executions, res.Elapsed)
@@ -312,7 +312,54 @@ func TestThreeMachineBugStillDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Buggy() {
-		t.Fatalf("bug #%d not detected with three machines", bi.Table)
+		t.Fatalf("bug #%d not detected with three machines: %s", bi.Table, HuntDiagnosis(res))
+	}
+}
+
+// TestReproTokensReplay is the replay property on real benchmark bugs:
+// every bug a hunt reports carries a token that re-runs exactly one
+// execution and reproduces the same bug kind and message — and the
+// token is rejected, not misinterpreted, against a different program.
+func TestReproTokensReplay(t *testing.T) {
+	b := Benchmarks[4] // P-CLHT: fast single-configuration hunts
+	bi := b.Bugs[0]
+	res, err := BugHunt(b, bi, cxlmc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Fatalf("bug #%d not detected: %s", bi.Table, HuntDiagnosis(res))
+	}
+	program := recipe.Program(b, recipe.Config{
+		Keys: bi.Keys, Workers: bi.Workers, Stride: bi.Stride, Bugs: bi.Bit,
+	})
+	for _, bug := range res.Bugs {
+		if bug.ReproToken == "" {
+			t.Fatalf("bug %v carries no repro token", bug)
+		}
+		rep, err := cxlmc.Replay(bug.ReproToken, cxlmc.Config{}, program)
+		if err != nil {
+			t.Fatalf("replay failed: %v", err)
+		}
+		if rep.Executions != 1 {
+			t.Fatalf("replay explored %d executions, want exactly 1", rep.Executions)
+		}
+		if !rep.Buggy() {
+			t.Fatalf("replay of %v reproduced nothing", bug)
+		}
+		got := rep.Bugs[0]
+		if got.Kind != bug.Kind || got.Message != bug.Message {
+			t.Fatalf("replay diverged: got %s %q, want %s %q", got.Kind, got.Message, bug.Kind, bug.Message)
+		}
+		if len(got.Trace) == 0 {
+			t.Fatalf("replay captured no trace for %v", got)
+		}
+	}
+
+	// The token must be refused against a structurally different program.
+	other := recipe.Program(Benchmarks[0], recipe.Config{Keys: 4, Workers: 1})
+	if _, err := cxlmc.Replay(res.Bugs[0].ReproToken, cxlmc.Config{}, other); err == nil {
+		t.Fatal("token replayed against a different program without a digest error")
 	}
 }
 

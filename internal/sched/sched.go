@@ -10,7 +10,11 @@
 // thread interleaving is a deterministic function of the seed).
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
 
 // State is a simulated thread's scheduling state.
 type State uint8
@@ -63,9 +67,19 @@ type Thread struct {
 	// the goroutine is gone and must never be granted again.
 	exited  bool
 	started bool
+	// wedged is set by the scheduler when GrantTimeout gave up on the
+	// thread: its goroutine is stuck in user code outside the simulated
+	// API and has been abandoned. It is the one field shared between the
+	// scheduler and a goroutine that no longer runs in lock-step, hence
+	// atomic. A wedged goroutine that later resumes unwinds at its next
+	// instruction boundary without touching scheduler state.
+	wedged atomic.Bool
 	// BlockNote describes what a blocked thread waits for (diagnostics).
 	BlockNote string
 }
+
+// Wedged reports whether the watchdog abandoned the thread.
+func (t *Thread) Wedged() bool { return t.wedged.Load() }
 
 // State returns the thread's scheduling state.
 func (t *Thread) State() State { return t.state }
@@ -75,6 +89,9 @@ func (t *Thread) State() State { return t.state }
 type Scheduler struct {
 	threads []*Thread
 	yield   chan *Thread
+	// watchdog is the reusable GrantTimeout timer, lazily created so the
+	// no-timeout hot path stays allocation free.
+	watchdog *time.Timer
 	// OnPanic receives panics escaping a thread's function (real program
 	// bugs like division by zero). The kill sentinel is filtered out.
 	OnPanic func(t *Thread, v any)
@@ -105,10 +122,17 @@ func (s *Scheduler) NewThread(machine int, name string, fn func(*Thread)) *Threa
 func (s *Scheduler) Threads() []*Thread { return s.threads }
 
 // run is the goroutine wrapper: it converts kill sentinels into clean
-// exits, routes real panics to OnPanic, and always returns the baton.
+// exits, routes real panics to OnPanic, and always returns the baton —
+// unless the watchdog abandoned the thread, in which case it exits
+// silently without touching scheduler state (nobody is listening).
 func (t *Thread) run() {
 	defer func() {
-		if v := recover(); v != nil {
+		v := recover()
+		if t.wedged.Load() {
+			t.exited = true
+			return
+		}
+		if v != nil {
 			if _, isKill := v.(killSentinel); !isKill {
 				t.state = Killed
 				if t.sch.OnPanic != nil {
@@ -132,6 +156,23 @@ func (t *Thread) run() {
 // exit. Granting a killed thread unwinds it. The thread must not have
 // exited.
 func (s *Scheduler) Grant(t *Thread) {
+	s.GrantTimeout(t, 0)
+}
+
+// GrantTimeout is Grant under a wall-clock watchdog: if the thread does
+// not return the baton within d (because checked code blocked outside
+// the simulated API — a channel receive, a syscall), the thread is
+// marked wedged, abandoned, and false is returned. The scheduler must
+// then end the execution: the wedged goroutine may still be running and
+// only unwinds — without touching scheduler state — when it next
+// reaches an instruction boundary; a goroutine that never does is
+// leaked. d <= 0 means no timeout.
+//
+// d must be generous relative to a single simulated instruction's
+// compute time: the watchdog cannot distinguish "blocked in user code"
+// from "instruction still executing", and abandoning the latter races
+// with subsequent executions.
+func (s *Scheduler) GrantTimeout(t *Thread, d time.Duration) bool {
 	if t.exited {
 		panic(fmt.Sprintf("sched: Grant to exited thread %d (%s)", t.ID, t.Name))
 	}
@@ -140,7 +181,25 @@ func (s *Scheduler) Grant(t *Thread) {
 		go t.run()
 	}
 	t.resume <- struct{}{}
-	<-s.yield
+	if d <= 0 {
+		<-s.yield
+		return true
+	}
+	if s.watchdog == nil {
+		s.watchdog = time.NewTimer(d)
+	} else {
+		s.watchdog.Reset(d)
+	}
+	select {
+	case <-s.yield:
+		if !s.watchdog.Stop() {
+			<-s.watchdog.C
+		}
+		return true
+	case <-s.watchdog.C:
+		t.wedged.Store(true)
+		return false
+	}
 }
 
 // Pause yields the baton back to the scheduler and parks until the next
@@ -151,6 +210,11 @@ func (s *Scheduler) Grant(t *Thread) {
 // scheduler. It must be called from t's goroutine.
 func (t *Thread) Pause() {
 	if t.state == Killed {
+		panic(killSentinel{})
+	}
+	if t.wedged.Load() {
+		// The watchdog abandoned this thread while it ran user code; the
+		// scheduler has moved on and must not be yielded to. Unwind.
 		panic(killSentinel{})
 	}
 	t.sch.yield <- t
@@ -197,14 +261,24 @@ func (t *Thread) KillSelf() {
 
 // Teardown unwinds every goroutine that has not exited. Call it at the
 // end of each execution so goroutines never leak across executions.
+// Wedged threads are skipped: their goroutines are not parked at the
+// baton and unwind on their own at the next instruction boundary (or
+// leak, if they stay blocked in user code forever).
 func (s *Scheduler) Teardown() {
 	for _, t := range s.threads {
-		if t.exited || !t.started {
+		if t.wedged.Load() || t.exited || !t.started {
 			continue
 		}
 		t.state = Killed
 		t.resume <- struct{}{}
-		<-s.yield
+		for {
+			y := <-s.yield
+			if y == t {
+				break
+			}
+			// A wedged thread beat the watchdog by a hair and yielded
+			// late; its baton is stale — ignore it.
+		}
 		if !t.exited {
 			panic(fmt.Sprintf("sched: thread %d (%s) survived teardown", t.ID, t.Name))
 		}
