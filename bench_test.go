@@ -193,6 +193,23 @@ func BenchmarkTable5(b *testing.B) {
 	}
 }
 
+// --- Parallel scaling -----------------------------------------------------
+
+// BenchmarkParallelScaling sweeps the worker count over one mid-size
+// Table 5 exploration. The explored execution set is identical at every
+// worker count (the parity tests assert it), so ns/op differences are
+// pure scheduling: ideally ns/op shrinks with workers up to the core
+// count, and the execs metric stays flat.
+func BenchmarkParallelScaling(b *testing.B) {
+	prog := recipe.Program(harness.Benchmarks[5], harness.Table5Config()) // P-MassTree
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			exploreOnce(b, cxlmc.Config{Workers: workers}, prog)
+		})
+	}
+}
+
 // --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationReadSet compares the paper's §4.5 lazy read-from

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cxlmc -bench CCEH [-keys 10] [-workers 1] [-stride 1] [-bugs 0x3]
+//	cxlmc -bench CCEH [-keys 10] [-insert-workers 1] [-stride 1] [-bugs 0x3]
 //	      [-gpf] [-poison] [-seed 0] [-max-execs 0] [-max-time 0] [-trace]
+//	      [-workers 0] [-cpuprofile file] [-memprofile file]
 //	      [-checkpoint file] [-checkpoint-every N] [-checkpoint-interval d]
 //	      [-wedge-timeout d] [-replay token]
 //
@@ -13,11 +14,19 @@
 // P-BwTree, P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress).
 // -bugs is a bitmask enabling that benchmark's seeded bugs (0 = fixed).
 //
+// -workers sets the number of parallel exploration workers (0 =
+// GOMAXPROCS); the explored execution set and the distinct bugs found
+// are identical for every worker count. It is distinct from
+// -insert-workers, which shapes the simulated workload (insert threads
+// per machine). -cpuprofile and -memprofile write pprof profiles of the
+// exploration.
+//
 // Long explorations are resilient: -checkpoint persists progress
-// crash-safely and resumes from the same file on restart, Ctrl-C stops
-// gracefully at the next execution boundary (writing a final
-// checkpoint), and -replay re-runs the single execution a reported
-// bug's repro token witnessed, with tracing on.
+// crash-safely and resumes from the same file on restart (checkpoints
+// are portable across -workers counts), Ctrl-C stops gracefully at the
+// next execution boundary (writing a final checkpoint), and -replay
+// re-runs the single execution a reported bug's repro token witnessed,
+// with tracing on.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -35,10 +46,17 @@ import (
 )
 
 func main() {
+	// The body lives in run so its defers (profile writers, in
+	// particular) execute before the process exits: os.Exit skips
+	// deferred calls.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		bench      = flag.String("bench", "", "benchmark name (CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-MassTree, kv, test_stress)")
 		keys       = flag.Int("keys", 10, "total keys inserted")
-		workers    = flag.Int("workers", 1, "insert workers per machine")
+		insWorkers = flag.Int("insert-workers", 1, "insert workers per machine (simulated workload shape)")
 		stride     = flag.Int("stride", 1, "key stride")
 		bugsFlag   = flag.String("bugs", "0", "seeded-bug bitmask (e.g. 0x3); 0 = all fixed")
 		gpf        = flag.Bool("gpf", false, "assume global persistent flush always succeeds")
@@ -54,30 +72,33 @@ func main() {
 		cpInterval = flag.Duration("checkpoint-interval", 0, "checkpoint every interval (0 = default 30s when -checkpoint is set)")
 		wedge      = flag.Duration("wedge-timeout", 0, "watchdog for callbacks blocking outside the simulated API (0 = off)")
 		replay     = flag.String("replay", "", "replay a bug's repro token against -bench instead of exploring")
+		checkers   = flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the exploration) to this file")
 	)
 	flag.Parse()
 
 	if *list {
 		listBenchmarks()
-		return
+		return 0
 	}
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "cxlmc: -bench is required (try -list)")
-		os.Exit(2)
+		return 2
 	}
 	if *checkpoint != "" && *seeds > 1 {
 		fmt.Fprintln(os.Stderr, "cxlmc: -checkpoint tracks a single exploration; use -seeds 1 (one checkpoint file per seed)")
-		os.Exit(2)
+		return 2
 	}
 
 	bugs, err := strconv.ParseUint(*bugsFlag, 0, 32)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxlmc: bad -bugs %q: %v\n", *bugsFlag, err)
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := cxlmc.Config{
-		Seed: *seed, GPF: *gpf, Poison: *poison,
+		Seed: *seed, GPF: *gpf, Poison: *poison, Workers: *checkers,
 		MaxExecutions: *maxExecs, MaxTime: *maxTime,
 		CheckpointPath: *checkpoint, CheckpointEvery: *cpEvery, CheckpointInterval: *cpInterval,
 		WedgeTimeout: *wedge,
@@ -86,10 +107,38 @@ func main() {
 		cfg.Trace = os.Stdout
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cxlmc: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlmc: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	var program func(*cxlmc.Program)
 	if b, ok := harness.ByName(*bench); ok {
 		program = recipe.Program(b, recipe.Config{
-			Keys: *keys, Workers: *workers, Stride: *stride, Bugs: recipe.Bug(bugs),
+			Keys: *keys, Workers: *insWorkers, Stride: *stride, Bugs: recipe.Bug(bugs),
 		})
 	} else {
 		found := false
@@ -102,7 +151,7 @@ func main() {
 		}
 		if !found {
 			fmt.Fprintf(os.Stderr, "cxlmc: unknown benchmark %q (try -list)\n", *bench)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -110,13 +159,13 @@ func main() {
 		res, err := cxlmc.Replay(*replay, cfg, program)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("replayed    %s (seed %d) in %d execution(s), %v\n",
 			*bench, res.Seed, res.Executions, res.Elapsed)
 		if !res.Buggy() {
 			fmt.Println("no bug reproduced — was the program or configuration changed?")
-			os.Exit(1)
+			return 1
 		}
 		for _, b := range res.Bugs {
 			fmt.Printf("  %s\n", b)
@@ -124,7 +173,7 @@ func main() {
 				fmt.Printf("    %s\n", line)
 			}
 		}
-		return
+		return 0
 	}
 
 	// Ctrl-C requests graceful interruption: the run stops at the next
@@ -147,7 +196,7 @@ func main() {
 		res, err := cxlmc.Run(cfg, program)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", *bench, bugs, *gpf, s)
 		fmt.Printf("executions  %d (complete=%v)\n", res.Executions, res.Complete)
@@ -181,8 +230,9 @@ func main() {
 		}
 	}
 	if buggy {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func listBenchmarks() {

@@ -40,7 +40,9 @@ type Checker struct {
 	replaying      bool
 	replayDiverged *decision.Divergence
 
-	// Per-execution state, rebuilt by resetExecution.
+	// Per-execution state, reset in place by resetExecution. The memory,
+	// scheduler, machine/thread/mutex arenas and RNG are reused across
+	// executions so the hot path is allocation-free after warm-up.
 	mem      *memmodel.Memory
 	sch      *sched.Scheduler
 	rng      *rand.Rand
@@ -55,11 +57,33 @@ type Checker struct {
 	// traceLog is the current execution's event ring when CaptureTrace
 	// is on.
 	traceLog []string
+	// tracing caches "is any tracing sink configured", so hot-path call
+	// sites can skip the variadic tracef call (and its argument boxing)
+	// entirely.
+	tracing bool
+	// dirty quarantines reusable state after a watchdog abandoned a
+	// thread: the wedged goroutine may still hold references into the
+	// scheduler, arenas and memory, so the next reset discards them all
+	// instead of reusing them.
+	dirty bool
+	// prog is the reusable Program handle passed to setup each execution.
+	prog Program
+	// Scratch buffers reused by the scheduler step loop and load path.
+	runnableBuf []*Thread
+	blockedBuf  []*Thread
+	commitBuf   []commitTarget
+	readCtx     memmodel.ReadContext
+	readIter    memmodel.CandidateIter
 }
 
 // Run explores the program under cfg and returns the aggregated result.
 // program is invoked once per execution to (re)build machines, threads
 // and initial memory.
+//
+// With Config.Workers > 1, independent subtrees of the decision tree are
+// explored concurrently by work-stealing workers, each owning a private
+// Checker; see engine in parallel.go. Serial runs go through the same
+// engine with a single worker, so there is exactly one exploration loop.
 //
 // With Config.CheckpointPath set, Run resumes transparently from an
 // existing checkpoint and periodically (and on every stop) writes new
@@ -67,7 +91,7 @@ type Checker struct {
 // hard kill — loses at most one checkpoint interval of progress and,
 // when resumed, explores exactly the executions an uninterrupted run
 // would have.
-func Run(cfg Config, program func(*Program)) (result *Result, err error) {
+func Run(cfg Config, program func(*Program)) (*Result, error) {
 	if program == nil {
 		return nil, setupError{"nil program"}
 	}
@@ -76,99 +100,7 @@ func Run(cfg Config, program func(*Program)) (result *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	ck := &Checker{
-		cfg:        cfg,
-		program:    program,
-		tree:       decision.NewTree(),
-		seen:       make(map[string]bool),
-		cfgDigest:  configDigest(cfg),
-		progDigest: progDigest,
-	}
-	start := time.Now()
-	if cfg.MaxTime > 0 {
-		ck.deadline = start.Add(cfg.MaxTime)
-	}
-	// prior is the wall-clock time credited from resumed checkpoints, so
-	// Stats.Elapsed stays cumulative across interruptions.
-	var prior time.Duration
-	if cfg.CheckpointPath != "" {
-		cp, err := loadCheckpoint(cfg.CheckpointPath)
-		if err != nil {
-			return nil, err
-		}
-		if cp != nil {
-			if err := ck.adoptCheckpoint(cp); err != nil {
-				return nil, err
-			}
-			prior = cp.Elapsed
-			if cp.Complete || ck.tree.Done() {
-				// The checkpointed exploration already finished; return
-				// its result without re-exploring anything.
-				ck.stats.Complete = true
-				ck.finalizeStats(start, prior)
-				return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
-			}
-		}
-	}
-	defer func() {
-		if v := recover(); v != nil {
-			if se, ok := v.(setupError); ok {
-				result, err = nil, se
-				return
-			}
-			if iv, ok := v.(internalInvariant); ok {
-				result, err = nil, ck.newInternalError(iv.msg)
-				return
-			}
-			panic(v)
-		}
-	}()
-	lastCPExecs, lastCPTime := ck.stats.Executions, start
-	for {
-		ck.tree.Begin()
-		ck.stats.Executions++
-		ck.runOneExecution()
-		if ck.internalErr != nil {
-			return nil, ck.internalErr
-		}
-		foundBug := ck.aborted && !ck.timedOut
-		if foundBug && !cfg.ContinueAfterBug {
-			break
-		}
-		if ck.timedOut {
-			// The deadline fired mid-execution; the partial path must not
-			// advance the tree (it would mark an unexplored subtree done).
-			break
-		}
-		if !ck.tree.Advance() {
-			ck.stats.Complete = true
-			break
-		}
-		if cfg.MaxExecutions > 0 && ck.stats.Executions >= cfg.MaxExecutions {
-			break
-		}
-		if cfg.MaxTime > 0 && time.Since(start) > cfg.MaxTime {
-			break
-		}
-		if stopRequested(cfg.Stop) {
-			ck.stats.Interrupted = true
-			break
-		}
-		if ck.shouldCheckpoint(lastCPExecs, lastCPTime) {
-			if err := writeCheckpointFile(cfg.CheckpointPath, ck.checkpointNow(start, prior)); err != nil {
-				return nil, err
-			}
-			lastCPExecs, lastCPTime = ck.stats.Executions, time.Now()
-		}
-	}
-	ck.minimizeTokens()
-	ck.finalizeStats(start, prior)
-	if cfg.CheckpointPath != "" {
-		if err := writeCheckpointFile(cfg.CheckpointPath, ck.checkpointNow(start, prior)); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, nil
+	return newEngine(cfg, program, progDigest).run()
 }
 
 // finalizeStats fills the derived statistics fields.
@@ -177,17 +109,6 @@ func (ck *Checker) finalizeStats(start time.Time, prior time.Duration) {
 	ck.stats.ReadFromPoints = ck.tree.Created(decision.KindReadFrom)
 	ck.stats.PoisonPoints = ck.tree.Created(decision.KindPoison)
 	ck.stats.Elapsed = prior + time.Since(start)
-}
-
-// shouldCheckpoint reports whether either checkpoint cadence is due.
-func (ck *Checker) shouldCheckpoint(lastExecs int, lastTime time.Time) bool {
-	if ck.cfg.CheckpointPath == "" {
-		return false
-	}
-	if ck.cfg.CheckpointEvery > 0 && ck.stats.Executions-lastExecs >= ck.cfg.CheckpointEvery {
-		return true
-	}
-	return ck.cfg.CheckpointInterval > 0 && time.Since(lastTime) >= ck.cfg.CheckpointInterval
 }
 
 // stopRequested polls the graceful-interruption channel.
@@ -215,28 +136,67 @@ func (ck *Checker) newInternalError(msg string) *InternalError {
 }
 
 // resetExecution rebuilds all per-execution state and re-runs program
-// setup.
+// setup. State from the previous execution — the memory, the scheduler
+// and its goroutine-backed threads, the machine/thread/mutex arenas, the
+// RNG — is reset in place rather than reallocated, so after the first
+// execution the setup path allocates nothing. The one exception is a
+// dirty execution (the watchdog abandoned a thread): its goroutine may
+// still hold references into all of that state, so everything reusable
+// is discarded and rebuilt fresh.
 func (ck *Checker) resetExecution() {
-	ck.mem = memmodel.NewMemory()
-	ck.sch = sched.New()
-	ck.sch.OnPanic = ck.onThreadPanic
-	ck.rng = rand.New(rand.NewSource(ck.cfg.Seed))
-	ck.machines = nil
-	ck.threads = nil
-	ck.mutexes = nil
+	if ck.dirty {
+		ck.mem = nil
+		ck.sch = nil
+		ck.machines = nil
+		ck.threads = nil
+		ck.mutexes = nil
+		ck.poisoned = nil
+		ck.runnableBuf = nil
+		ck.blockedBuf = nil
+		ck.commitBuf = nil
+		ck.readCtx = memmodel.ReadContext{}
+		ck.dirty = false
+	}
+	if ck.mem == nil {
+		ck.mem = memmodel.NewMemory()
+	} else {
+		ck.mem.Reset()
+	}
+	if ck.sch == nil {
+		ck.sch = sched.New()
+		ck.sch.OnPanic = ck.onThreadPanic
+	} else {
+		ck.sch.Reset()
+	}
+	if ck.rng == nil {
+		ck.rng = rand.New(rand.NewSource(ck.cfg.Seed))
+	} else {
+		ck.rng.Seed(ck.cfg.Seed)
+	}
+	ck.machines = ck.machines[:0]
+	ck.threads = ck.threads[:0]
+	ck.mutexes = ck.mutexes[:0]
 	ck.failed = 0
 	ck.heapNext = heapBase
 	ck.current = nil
 	ck.aborted = false
-	ck.poisoned = make(map[memmodel.LineID]bool)
+	if ck.cfg.Poison {
+		if ck.poisoned == nil {
+			ck.poisoned = make(map[memmodel.LineID]bool)
+		} else {
+			clear(ck.poisoned)
+		}
+	}
 	ck.traceLog = ck.traceLog[:0]
+	ck.tracing = ck.cfg.Trace != nil || ck.cfg.CaptureTrace
 
 	defer func() {
 		if v := recover(); v != nil {
 			panic(setupError{v})
 		}
 	}()
-	ck.program(&Program{ck: ck})
+	ck.prog.ck = ck
+	ck.program(&ck.prog)
 }
 
 // runOneExecution executes the program once, driving threads and buffer
@@ -290,25 +250,28 @@ func (ck *Checker) runOneExecution() {
 }
 
 // runnableThreads returns live, runnable simulated threads in creation
-// order.
+// order. The result aliases a scratch buffer valid until the next call.
 func (ck *Checker) runnableThreads() []*Thread {
-	var out []*Thread
+	out := ck.runnableBuf[:0]
 	for _, t := range ck.threads {
 		if !t.mach.failed && t.st.State() == sched.Runnable {
 			out = append(out, t)
 		}
 	}
+	ck.runnableBuf = out
 	return out
 }
 
-// liveBlockedThreads returns blocked threads on live machines.
+// liveBlockedThreads returns blocked threads on live machines. The result
+// aliases a scratch buffer valid until the next call.
 func (ck *Checker) liveBlockedThreads() []*Thread {
-	var out []*Thread
+	out := ck.blockedBuf[:0]
 	for _, t := range ck.threads {
 		if !t.mach.failed && t.st.State() == sched.Blocked {
 			out = append(out, t)
 		}
 	}
+	ck.blockedBuf = out
 	return out
 }
 
@@ -320,9 +283,10 @@ type commitTarget struct {
 }
 
 // committableBuffers lists every buffer head that could take effect on
-// the cache now, in deterministic order.
+// the cache now, in deterministic order. The result aliases a scratch
+// buffer valid until the next call.
 func (ck *Checker) committableBuffers() []commitTarget {
-	var out []commitTarget
+	out := ck.commitBuf[:0]
 	for _, t := range ck.threads {
 		if t.mach.failed {
 			continue
@@ -334,6 +298,7 @@ func (ck *Checker) committableBuffers() []commitTarget {
 			out = append(out, commitTarget{t, true})
 		}
 	}
+	ck.commitBuf = out
 	return out
 }
 
@@ -348,6 +313,9 @@ func (ck *Checker) grantOne(runnable []*Thread) {
 	if d, isWedgeBudget := ck.grantBudget(); d > 0 {
 		if !ck.sch.GrantTimeout(t.st, d) {
 			ck.current = nil
+			// The abandoned goroutine may still touch the scheduler,
+			// arenas and memory; quarantine them all at the next reset.
+			ck.dirty = true
 			if isWedgeBudget {
 				ck.reportBug(BugWedged, fmt.Sprintf(
 					"thread %s/%s did not yield within %v: callback blocking outside the simulated API?",
@@ -421,7 +389,7 @@ func (ck *Checker) wakeJoiners(m *Machine) {
 	for _, w := range m.joiners {
 		w.st.Wake()
 	}
-	m.joiners = nil
+	m.joiners = m.joiners[:0]
 }
 
 // failMachine fails machine m: its threads stop, its buffered stores are
@@ -530,7 +498,7 @@ func (ck *Checker) reportBugHere(kind BugKind, msg string) {
 }
 
 func (ck *Checker) tracef(format string, args ...any) {
-	if ck.cfg.Trace == nil && !ck.cfg.CaptureTrace {
+	if !ck.tracing {
 		return
 	}
 	line := fmt.Sprintf("σ%-6d "+format, append([]any{ck.mem.Seq()}, args...)...)

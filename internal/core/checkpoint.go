@@ -25,24 +25,38 @@ import (
 // silently exploring garbage.
 
 // checkpointVersion is bumped whenever the on-disk encoding changes.
-const checkpointVersion = 1
+// Version 2 replaced the single tree snapshot with the parallel engine's
+// frontier: one snapshot per outstanding subtree unit, plus the decision
+// points already accounted by completed units.
+const checkpointVersion = 2
 
 // checkpointData is the JSON envelope written to CheckpointPath. The
-// tree snapshot inside it uses the decision package's own versioned
+// unit snapshots inside it use the decision package's own versioned
 // binary encoding (JSON base64s the bytes).
 type checkpointData struct {
-	Version       int           `json:"version"`
-	Seed          int64         `json:"seed"`
-	ConfigDigest  string        `json:"config_digest"`
-	ProgramDigest string        `json:"program_digest"`
-	Tree          []byte        `json:"tree"`
-	Executions    int           `json:"executions"`
-	Steps         int64         `json:"steps"`
-	Elapsed       time.Duration `json:"elapsed_ns"`
-	Complete      bool          `json:"complete"`
-	Interrupted   bool          `json:"interrupted"`
-	Bugs          []Bug         `json:"bugs,omitempty"`
+	Version       int    `json:"version"`
+	Seed          int64  `json:"seed"`
+	ConfigDigest  string `json:"config_digest"`
+	ProgramDigest string `json:"program_digest"`
+	// Units holds one decision-tree snapshot per subtree still to be
+	// (fully) explored. A fresh run checkpoints a single unit: the whole
+	// tree.
+	Units [][]byte `json:"units"`
+	// BaseCreated counts the decision points (indexed by decision.Kind)
+	// created by units that already completed; outstanding units carry
+	// their own counts inside their snapshots.
+	BaseCreated [numDecisionKinds]int `json:"base_created"`
+	Executions  int                   `json:"executions"`
+	Steps       int64                 `json:"steps"`
+	Elapsed     time.Duration         `json:"elapsed_ns"`
+	Complete    bool                  `json:"complete"`
+	Interrupted bool                  `json:"interrupted"`
+	Bugs        []Bug                 `json:"bugs,omitempty"`
 }
+
+// numDecisionKinds is the number of decision.Kind values (read-from,
+// failure, poison).
+const numDecisionKinds = 3
 
 // configDigest fingerprints the configuration fields that shape the
 // decision tree. Budget and reporting knobs (MaxExecutions, MaxTime,
@@ -153,49 +167,5 @@ func writeCheckpointFile(path string, cp *checkpointData) error {
 	return nil
 }
 
-// checkpointNow captures the checker's current between-executions state.
-func (ck *Checker) checkpointNow(start time.Time, prior time.Duration) *checkpointData {
-	return &checkpointData{
-		Version:       checkpointVersion,
-		Seed:          ck.cfg.Seed,
-		ConfigDigest:  ck.cfgDigest,
-		ProgramDigest: ck.progDigest,
-		Tree:          ck.tree.Snapshot(),
-		Executions:    ck.stats.Executions,
-		Steps:         ck.stats.Steps,
-		Elapsed:       prior + time.Since(start),
-		Complete:      ck.stats.Complete,
-		Interrupted:   ck.stats.Interrupted,
-		Bugs:          ck.bugs,
-	}
-}
-
-// adoptCheckpoint validates cp against this run's identity and restores
-// the exploration state from it.
-func (ck *Checker) adoptCheckpoint(cp *checkpointData) error {
-	path := ck.cfg.CheckpointPath
-	if cp.Seed != ck.cfg.Seed {
-		return fmt.Errorf("cxlmc: checkpoint %s was written for seed %d, this run uses seed %d: delete the checkpoint or match the seed",
-			path, cp.Seed, ck.cfg.Seed)
-	}
-	if cp.ConfigDigest != ck.cfgDigest {
-		return fmt.Errorf("cxlmc: checkpoint %s was written under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize must match",
-			path, cp.ConfigDigest, ck.cfgDigest)
-	}
-	if cp.ProgramDigest != ck.progDigest {
-		return fmt.Errorf("cxlmc: checkpoint %s was written for a different program (digest %s, this program %s): the program structure changed since the checkpoint",
-			path, cp.ProgramDigest, ck.progDigest)
-	}
-	if err := ck.tree.Restore(cp.Tree); err != nil {
-		return fmt.Errorf("cxlmc: checkpoint %s: %w", path, err)
-	}
-	ck.stats.Executions = cp.Executions
-	ck.stats.Steps = cp.Steps
-	ck.stats.Complete = cp.Complete
-	ck.stats.Resumed = true
-	ck.bugs = append([]Bug(nil), cp.Bugs...)
-	for _, b := range ck.bugs {
-		ck.seen[b.Kind.String()+":"+b.Message] = true
-	}
-	return nil
-}
+// The engine in parallel.go assembles and adopts checkpointData; this
+// file only defines the format and the crash-safe file I/O.

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/memmodel"
@@ -125,6 +126,19 @@ type Config struct {
 	// returns with Stats.Interrupted true. cmd/cxlmc wires SIGINT here.
 	Stop <-chan struct{}
 
+	// Workers is the number of exploration workers that check independent
+	// decision-tree subtrees concurrently. 0 means GOMAXPROCS. Each worker
+	// owns a private simulation (memory, scheduler, RNG), so executions
+	// themselves are untouched; only the order subtrees are visited in
+	// changes. For a run that completes the tree, Executions and the
+	// decision-point counts are identical for every worker count, and the
+	// distinct-bug set (with replayable tokens) is too; Bug.Execution
+	// ordinals and which-duplicate-wins may differ. Workers is forced to 1
+	// when Trace is set (interleaved traces would be useless) and is not
+	// part of the checkpoint identity: a checkpoint written with one worker
+	// count resumes under any other.
+	Workers int
+
 	// WedgeTimeout bounds the wall-clock time a simulated thread may run
 	// between scheduler yields. A checked-program callback that blocks
 	// outside the simulated API (a real channel receive, a syscall) hangs
@@ -158,6 +172,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CheckpointPath != "" && c.CheckpointEvery == 0 && c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Trace != nil {
+		c.Workers = 1
 	}
 }
 

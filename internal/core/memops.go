@@ -22,14 +22,18 @@ func (ck *Checker) commitSBHead(t *Thread) {
 	switch h.Kind {
 	case memmodel.SBStore:
 		st := ck.mem.CommitStore(t.tb, t.mach.id)
-		ck.tracef("commit store [%#x]=%d (σ%d) by %s/%s", st.Addr, st.Val, st.Seq, t.mach.name, t.name)
+		if ck.tracing {
+			ck.tracef("commit store [%#x]=%d (σ%d) by %s/%s", st.Addr, st.Val, st.Seq, t.mach.name, t.name)
+		}
 	case memmodel.SBClflush:
 		eff := ck.mem.PreviewClflush(t.tb, t.mach.id)
 		if ck.maybeInjectFailure(t, eff) {
 			return
 		}
 		eff = ck.mem.CommitClflush(t.tb, t.mach.id)
-		ck.tracef("commit clflush line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+		if ck.tracing {
+			ck.tracef("commit clflush line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+		}
 	case memmodel.SBClflushopt:
 		ck.mem.CommitClflushopt(t.tb)
 	case memmodel.SBSfence:
@@ -46,7 +50,9 @@ func (ck *Checker) commitFBHead(t *Thread) {
 		return
 	}
 	eff = ck.mem.CommitFB(t.tb, t.mach.id)
-	ck.tracef("commit clflushopt line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+	if ck.tracing {
+		ck.tracef("commit clflushopt line %d → begin %d by %s/%s", eff.Line, eff.NewBegin, t.mach.name, t.name)
+	}
 }
 
 // drainFB empties t's flush buffer (sfence/mfence semantics). If a
@@ -95,7 +101,14 @@ func (ck *Checker) execMFence(t *Thread) {
 // points (§4.5). Values are little-endian.
 func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
 	ck.checkRange(a, uint64(size))
-	rc := &memmodel.ReadContext{Mem: ck.mem, Curr: t.mach.id, Failed: ck.failed, GPF: ck.cfg.GPF}
+	// The read context is pooled on the checker (its store scratch buffer
+	// carries over between loads); only one load is ever in flight because
+	// threads run in lock-step.
+	rc := &ck.readCtx
+	rc.Mem = ck.mem
+	rc.Curr = t.mach.id
+	rc.Failed = ck.failed
+	rc.GPF = ck.cfg.GPF
 	var val uint64
 	for i := 0; i < int(size); i++ {
 		b := a + Addr(i)
@@ -114,7 +127,9 @@ func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
 		rc.ApplyReadConstraint(b, c, ck.failed.Has(c.Machine))
 		val |= uint64(c.Val) << (8 * i)
 	}
-	ck.tracef("load [%#x]×%d = %d by %s/%s", a, size, val, t.mach.name, t.name)
+	if ck.tracing {
+		ck.tracef("load [%#x]×%d = %d by %s/%s", a, size, val, t.mach.name, t.name)
+	}
 	return val
 }
 
@@ -136,7 +151,8 @@ func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Ca
 		}
 		return r[ck.tree.Choose(decision.KindReadFrom, len(r))]
 	}
-	it := rc.Candidates(b)
+	it := &ck.readIter
+	rc.CandidatesInto(it, b)
 	c, ok := it.Next()
 	if !ok {
 		internalPanic("empty read-from set")
@@ -193,7 +209,9 @@ func (ck *Checker) poisonCheck(t *Thread, b Addr) {
 // and #12) observable.
 func (ck *Checker) store(t *Thread, a Addr, size uint8, val uint64) {
 	ck.checkRange(a, uint64(size))
-	ck.tracef("exec store [%#x]×%d=%d by %s/%s", a, size, val, t.mach.name, t.name)
+	if ck.tracing {
+		ck.tracef("exec store [%#x]×%d=%d by %s/%s", a, size, val, t.mach.name, t.name)
+	}
 	for size > 0 {
 		lineEnd := memmodel.LineBase(memmodel.LineOf(a)) + memmodel.LineSize
 		chunk := size
@@ -225,7 +243,9 @@ func (ck *Checker) rmw(t *Thread, a Addr, size uint8, fn func(cur uint64) (uint6
 	cur := ck.load(t, a, size)
 	if nv, doStore := fn(cur); doStore {
 		st := ck.mem.CommitDirectStore(t.tb, t.mach.id, a, size, nv)
-		ck.tracef("rmw store [%#x]=%d (σ%d) by %s/%s", a, nv, st.Seq, t.mach.name, t.name)
+		if ck.tracing {
+			ck.tracef("rmw store [%#x]=%d (σ%d) by %s/%s", a, nv, st.Seq, t.mach.name, t.name)
+		}
 	}
 	ck.execMFence(t)
 	return cur

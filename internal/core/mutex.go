@@ -85,5 +85,5 @@ func (mu *Mutex) wakeAll() {
 	for _, w := range mu.waiters {
 		w.st.Wake()
 	}
-	mu.waiters = nil
+	mu.waiters = mu.waiters[:0]
 }

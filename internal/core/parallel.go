@@ -1,0 +1,580 @@
+package core
+
+// This file implements the parallel exploration engine: the decision
+// tree is partitioned into subtree work units (decision.NewSubtree /
+// Split), a pool of workers — each owning a private Checker, so the
+// simulation itself stays single-threaded and lock-free — explores them
+// concurrently, and a coordinator merges statistics and deduplicates
+// bugs. Work-stealing is donation-based: a worker at an execution
+// boundary that sees hungry peers and an empty queue splits its own
+// unit at the shallowest advanceable decision point, handing off the
+// largest subtrees.
+//
+// Because Split partitions a unit exactly (the donated branches leave
+// the victim's range), a run that completes the tree performs exactly
+// the executions the serial DFS would, in a different order: Executions
+// and the per-kind decision-point counts are worker-count-invariant,
+// and so is the distinct-bug set. Only discovery order — and therefore
+// Bug.Execution ordinals and which duplicate of a bug wins dedup — can
+// differ; bugs are reported in a stable (kind, message) order when more
+// than one worker ran.
+//
+// Checkpointing is a stop-the-world barrier: when a cadence is due, a
+// worker arms a round, every active worker deposits a snapshot of its
+// unit at its next execution boundary (or releases the unit back to the
+// queue), and the last depositor writes the file. A checkpoint is
+// therefore always a consistent frontier: deposited units + queued
+// units partition exactly the unexplored part of the tree, and
+// BaseCreated carries the finished units' decision-point counts.
+//
+// A single worker degenerates to the serial loop — same boundary-check
+// order, no donation (nobody is hungry), exact MaxExecutions cutoff —
+// so there is exactly one exploration code path for all worker counts.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/decision"
+)
+
+// engine coordinates the worker pool for one Run.
+type engine struct {
+	cfg        Config
+	program    func(*Program)
+	cfgDigest  string
+	progDigest string
+
+	start time.Time
+	// prior is the wall-clock time credited from resumed checkpoints, so
+	// Stats.Elapsed stays cumulative across interruptions.
+	prior    time.Duration
+	deadline time.Time
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds subtree units nobody is exploring; active counts units
+	// currently owned by workers; hungry counts workers waiting in take.
+	queue  []*decision.Tree
+	active int
+	hungry int
+	// execs is the global execution counter; workers reserve an ordinal
+	// under mu before each execution, which makes MaxExecutions an exact
+	// global cutoff (no overshoot even with many workers).
+	execs int
+	steps int64
+	// created accumulates decision-point counters of completed units,
+	// plus the BaseCreated of a resumed checkpoint.
+	created [numDecisionKinds]int
+	bugs    []Bug
+	seen    map[string]bool
+	// stopFlag tells workers to release their units and exit; set on
+	// bug-stop, MaxExecutions, MaxTime, Stop and failure.
+	stopFlag    bool
+	interrupted bool
+	resumed     bool
+	failErr     error
+	// panicked stores a panic escaping a worker goroutine, re-raised on
+	// Run's goroutine after the pool drains.
+	panicked any
+	haveP    bool
+
+	// Stop-the-world checkpoint barrier state. cpRound numbers rounds so
+	// a worker deposits at most once per round (worker.lastRound).
+	cpArmed     bool
+	cpRound     int
+	cpWait      int
+	cpUnits     [][]byte
+	lastCPExecs int
+	lastCPTime  time.Time
+}
+
+// worker is the per-goroutine exploration state.
+type worker struct {
+	ck *Checker
+	// lastRound is the last checkpoint round this worker deposited in.
+	lastRound int
+	// mergedSteps/mergedBugs track how much of the private checker's
+	// state has been folded into the engine, so boundary merges are
+	// incremental.
+	mergedSteps int64
+	mergedBugs  int
+}
+
+func newEngine(cfg Config, program func(*Program), progDigest string) *engine {
+	e := &engine{
+		cfg:        cfg,
+		program:    program,
+		cfgDigest:  configDigest(cfg),
+		progDigest: progDigest,
+		seen:       make(map[string]bool),
+		cpRound:    0,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// run drives the whole exploration and assembles the Result.
+func (e *engine) run() (*Result, error) {
+	e.start = time.Now()
+	if e.cfg.MaxTime > 0 {
+		e.deadline = e.start.Add(e.cfg.MaxTime)
+	}
+	if e.cfg.CheckpointPath != "" {
+		cp, err := loadCheckpoint(e.cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if cp != nil {
+			if err := e.adoptCheckpoint(cp); err != nil {
+				return nil, err
+			}
+			if cp.Complete || len(e.queue) == 0 {
+				// The checkpointed exploration already finished; return its
+				// result without re-exploring anything.
+				return e.result(true), nil
+			}
+		}
+	}
+	if !e.resumed {
+		e.queue = []*decision.Tree{decision.NewTree()}
+	}
+	e.lastCPExecs, e.lastCPTime = e.execs, e.start
+
+	var wg sync.WaitGroup
+	for i := 0; i < e.cfg.Workers; i++ {
+		w := &worker{
+			ck: &Checker{
+				cfg:        e.cfg,
+				program:    e.program,
+				seen:       make(map[string]bool),
+				cfgDigest:  e.cfgDigest,
+				progDigest: e.progDigest,
+				deadline:   e.deadline,
+			},
+			lastRound: -1,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tr := e.take()
+				if tr == nil {
+					return
+				}
+				e.runUnit(w, tr)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if e.haveP {
+		panic(e.panicked)
+	}
+	if e.failErr != nil {
+		return nil, e.failErr
+	}
+	complete := !e.stopFlag && len(e.queue) == 0
+	if e.cfg.Workers > 1 {
+		// Discovery order is nondeterministic across workers; report bugs
+		// in a stable order instead.
+		sort.SliceStable(e.bugs, func(i, j int) bool {
+			if e.bugs[i].Kind != e.bugs[j].Kind {
+				return e.bugs[i].Kind < e.bugs[j].Kind
+			}
+			return e.bugs[i].Message < e.bugs[j].Message
+		})
+	}
+	minimizeBugTokens(e.cfg, e.program, e.progDigest, e.bugs)
+	res := e.result(complete)
+	if e.cfg.CheckpointPath != "" {
+		if err := writeCheckpointFile(e.cfg.CheckpointPath, e.checkpointData(complete)); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// result assembles the Result from the engine's final state. Point
+// counters are the completed units' totals plus whatever the still-queued
+// units created before being released.
+func (e *engine) result(complete bool) *Result {
+	created := e.created
+	for _, tr := range e.queue {
+		created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
+		created[decision.KindFailure] += tr.Created(decision.KindFailure)
+		created[decision.KindPoison] += tr.Created(decision.KindPoison)
+	}
+	stats := Stats{
+		Executions:     e.execs,
+		FailurePoints:  created[decision.KindFailure],
+		ReadFromPoints: created[decision.KindReadFrom],
+		PoisonPoints:   created[decision.KindPoison],
+		Steps:          e.steps,
+		Elapsed:        e.prior + time.Since(e.start),
+		Complete:       complete,
+		Interrupted:    e.interrupted,
+		Resumed:        e.resumed,
+	}
+	return &Result{Stats: stats, Bugs: e.bugs, Seed: e.cfg.Seed, GPF: e.cfg.GPF}
+}
+
+// checkpointData captures the current frontier; the caller guarantees no
+// worker owns a unit (run end) or holds every owned unit deposited
+// (finishRoundLocked passes deposited snapshots via cpUnits instead).
+func (e *engine) checkpointData(complete bool) *checkpointData {
+	units := make([][]byte, 0, len(e.queue))
+	for _, tr := range e.queue {
+		units = append(units, tr.Snapshot())
+	}
+	return e.envelope(units, complete)
+}
+
+func (e *engine) envelope(units [][]byte, complete bool) *checkpointData {
+	return &checkpointData{
+		Version:       checkpointVersion,
+		Seed:          e.cfg.Seed,
+		ConfigDigest:  e.cfgDigest,
+		ProgramDigest: e.progDigest,
+		Units:         units,
+		BaseCreated:   e.created,
+		Executions:    e.execs,
+		Steps:         e.steps,
+		Elapsed:       e.prior + time.Since(e.start),
+		Complete:      complete,
+		Interrupted:   e.interrupted,
+		Bugs:          e.bugs,
+	}
+}
+
+// adoptCheckpoint validates cp against this run's identity and restores
+// the exploration frontier from it.
+func (e *engine) adoptCheckpoint(cp *checkpointData) error {
+	path := e.cfg.CheckpointPath
+	if cp.Seed != e.cfg.Seed {
+		return fmt.Errorf("cxlmc: checkpoint %s was written for seed %d, this run uses seed %d: delete the checkpoint or match the seed",
+			path, cp.Seed, e.cfg.Seed)
+	}
+	if cp.ConfigDigest != e.cfgDigest {
+		return fmt.Errorf("cxlmc: checkpoint %s was written under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize must match",
+			path, cp.ConfigDigest, e.cfgDigest)
+	}
+	if cp.ProgramDigest != e.progDigest {
+		return fmt.Errorf("cxlmc: checkpoint %s was written for a different program (digest %s, this program %s): the program structure changed since the checkpoint",
+			path, cp.ProgramDigest, e.progDigest)
+	}
+	for _, raw := range cp.Units {
+		tr := decision.NewTree()
+		if err := tr.Restore(raw); err != nil {
+			return fmt.Errorf("cxlmc: checkpoint %s: %v", path, err)
+		}
+		if !tr.Done() {
+			e.queue = append(e.queue, tr)
+		} else {
+			// A finished unit's counters still belong in the totals.
+			e.created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
+			e.created[decision.KindFailure] += tr.Created(decision.KindFailure)
+			e.created[decision.KindPoison] += tr.Created(decision.KindPoison)
+		}
+	}
+	e.execs = cp.Executions
+	e.steps = cp.Steps
+	e.prior = cp.Elapsed
+	for i, c := range cp.BaseCreated {
+		e.created[i] += c
+	}
+	e.bugs = append([]Bug(nil), cp.Bugs...)
+	for _, b := range e.bugs {
+		e.seen[b.Kind.String()+":"+b.Message] = true
+	}
+	e.resumed = true
+	return nil
+}
+
+// take blocks until a unit is available (returning it) or the run is
+// over (returning nil). Units are not handed out while a checkpoint
+// round is armed, so the round's active set stays fixed.
+func (e *engine) take() *decision.Tree {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hungry++
+	defer func() { e.hungry-- }()
+	for {
+		if e.stopFlag || e.failErr != nil {
+			return nil
+		}
+		if len(e.queue) == 0 && e.active == 0 {
+			return nil
+		}
+		if len(e.queue) > 0 && !e.cpArmed {
+			tr := e.queue[0]
+			e.queue = e.queue[1:]
+			e.active++
+			return tr
+		}
+		e.cond.Wait()
+	}
+}
+
+// runUnit explores one subtree unit on w's private checker until the
+// unit is exhausted, the run stops, or an error surfaces. All
+// cross-worker coordination happens in one critical section per
+// execution boundary; the executions themselves run lock-free.
+func (e *engine) runUnit(w *worker, tr *decision.Tree) {
+	ck := w.ck
+	ck.tree = tr
+	released := false
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		e.mu.Lock()
+		if !released {
+			e.endUnitLocked(w, tr, false)
+		}
+		switch x := v.(type) {
+		case setupError:
+			e.failLocked(x)
+		case internalInvariant:
+			e.failLocked(ck.newInternalError(x.msg))
+		default:
+			if !e.haveP {
+				e.haveP = true
+				e.panicked = v
+			}
+			e.stopLocked()
+		}
+		e.mu.Unlock()
+	}()
+
+	first := true
+	for {
+		e.mu.Lock()
+		if !first {
+			// Execution boundary: fold the finished execution into the
+			// engine, then run the serial loop's cutoff checks in the
+			// serial loop's order.
+			e.mergeLocked(w)
+			if ck.internalErr != nil {
+				e.failLocked(ck.internalErr)
+				e.endUnitLocked(w, tr, false)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			foundBug := ck.aborted && !ck.timedOut
+			if foundBug && !e.cfg.ContinueAfterBug {
+				e.stopLocked()
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if ck.timedOut {
+				// The deadline fired mid-execution; the partial path must
+				// not advance the tree (it would mark an unexplored subtree
+				// done). Release the un-advanced unit for the checkpoint.
+				e.stopLocked()
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if !tr.Advance() {
+				e.finishUnitLocked(w, tr)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if e.cfg.MaxExecutions > 0 && e.execs >= e.cfg.MaxExecutions {
+				e.stopLocked()
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if e.cfg.MaxTime > 0 && time.Since(e.start) > e.cfg.MaxTime {
+				e.stopLocked()
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if stopRequested(e.cfg.Stop) {
+				e.interrupted = true
+				e.stopLocked()
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			if e.stopFlag || e.failErr != nil {
+				// Another worker stopped the run.
+				e.endUnitLocked(w, tr, true)
+				released = true
+				e.mu.Unlock()
+				return
+			}
+			// Donate work: peers are starving and the queue is dry, so
+			// carve unexplored branches off this unit. With one worker
+			// nobody is ever hungry and the serial DFS order is untouched.
+			if e.hungry > 0 && len(e.queue) == 0 {
+				if units := tr.Split(); len(units) > 0 {
+					e.queue = append(e.queue, units...)
+					e.cond.Broadcast()
+				}
+			}
+			if !e.cpArmed && e.dueLocked() {
+				e.armRoundLocked()
+			}
+		}
+		first = false
+		// If a checkpoint round is armed (by this worker just now or by a
+		// peer), deposit this unit's snapshot and wait the round out.
+		for e.cpArmed {
+			if w.lastRound != e.cpRound {
+				e.depositLocked(w, tr.Snapshot())
+			} else {
+				e.cond.Wait()
+			}
+		}
+		if e.stopFlag || e.failErr != nil {
+			// The run ended while this worker waited at the barrier.
+			e.endUnitLocked(w, tr, true)
+			released = true
+			e.mu.Unlock()
+			return
+		}
+		// Reserve a global execution ordinal; exact MaxExecutions cutoff.
+		if e.cfg.MaxExecutions > 0 && e.execs >= e.cfg.MaxExecutions {
+			e.stopLocked()
+			e.endUnitLocked(w, tr, true)
+			released = true
+			e.mu.Unlock()
+			return
+		}
+		e.execs++
+		ck.stats.Executions = e.execs
+		e.mu.Unlock()
+
+		tr.Begin()
+		ck.runOneExecution()
+	}
+}
+
+// mergeLocked folds the worker's per-execution deltas into the engine:
+// step counts and newly reported bugs (deduplicated globally).
+func (e *engine) mergeLocked(w *worker) {
+	ck := w.ck
+	e.steps += ck.stats.Steps - w.mergedSteps
+	w.mergedSteps = ck.stats.Steps
+	for _, b := range ck.bugs[w.mergedBugs:] {
+		key := b.Kind.String() + ":" + b.Message
+		if !e.seen[key] {
+			e.seen[key] = true
+			e.bugs = append(e.bugs, b)
+		}
+	}
+	w.mergedBugs = len(ck.bugs)
+}
+
+// finishUnitLocked retires an exhausted unit: its decision-point
+// counters move to the engine's completed totals.
+func (e *engine) finishUnitLocked(w *worker, tr *decision.Tree) {
+	e.created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
+	e.created[decision.KindFailure] += tr.Created(decision.KindFailure)
+	e.created[decision.KindPoison] += tr.Created(decision.KindPoison)
+	e.releaseLocked(w)
+}
+
+// endUnitLocked releases a unit the worker will not continue. With
+// pushback the (possibly advanced) unit returns to the queue, so a final
+// checkpoint captures exactly the unexplored frontier and a resumed run
+// picks it up where this one stopped.
+func (e *engine) endUnitLocked(w *worker, tr *decision.Tree, pushback bool) {
+	if pushback {
+		e.queue = append(e.queue, tr)
+	}
+	e.releaseLocked(w)
+}
+
+func (e *engine) releaseLocked(w *worker) {
+	e.active--
+	// A worker leaving mid-round still owes the barrier its arrival; its
+	// unit is accounted via the queue (pushback) or the completed totals.
+	if e.cpArmed && w.lastRound != e.cpRound {
+		w.lastRound = e.cpRound
+		e.cpWait--
+		if e.cpWait == 0 {
+			e.finishRoundLocked()
+		}
+	}
+	e.cond.Broadcast()
+}
+
+// dueLocked reports whether either checkpoint cadence is due.
+func (e *engine) dueLocked() bool {
+	if e.cfg.CheckpointPath == "" {
+		return false
+	}
+	if e.cfg.CheckpointEvery > 0 && e.execs-e.lastCPExecs >= e.cfg.CheckpointEvery {
+		return true
+	}
+	return e.cfg.CheckpointInterval > 0 && time.Since(e.lastCPTime) >= e.cfg.CheckpointInterval
+}
+
+// armRoundLocked opens a checkpoint round: every currently-active worker
+// must deposit (or release) before the file is written, and no new units
+// are handed out meanwhile.
+func (e *engine) armRoundLocked() {
+	e.cpArmed = true
+	e.cpRound++
+	e.cpWait = e.active
+	e.cpUnits = e.cpUnits[:0]
+	e.cond.Broadcast()
+}
+
+// depositLocked records one active worker's unit snapshot for the
+// current round; the last depositor completes the round.
+func (e *engine) depositLocked(w *worker, snap []byte) {
+	w.lastRound = e.cpRound
+	e.cpUnits = append(e.cpUnits, snap)
+	e.cpWait--
+	if e.cpWait == 0 {
+		e.finishRoundLocked()
+	}
+}
+
+// finishRoundLocked writes the checkpoint assembled from the round's
+// deposits plus the queued units, then releases the barrier.
+func (e *engine) finishRoundLocked() {
+	units := make([][]byte, 0, len(e.cpUnits)+len(e.queue))
+	units = append(units, e.cpUnits...)
+	for _, tr := range e.queue {
+		units = append(units, tr.Snapshot())
+	}
+	err := writeCheckpointFile(e.cfg.CheckpointPath, e.envelope(units, false))
+	e.cpArmed = false
+	e.cpUnits = e.cpUnits[:0]
+	e.lastCPExecs, e.lastCPTime = e.execs, time.Now()
+	if err != nil {
+		e.failLocked(err)
+	}
+	e.cond.Broadcast()
+}
+
+func (e *engine) stopLocked() {
+	e.stopFlag = true
+	e.cond.Broadcast()
+}
+
+func (e *engine) failLocked(err error) {
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	e.stopFlag = true
+	e.cond.Broadcast()
+}

@@ -30,13 +30,30 @@ type Machine struct {
 // NewMachine adds a compute node. At least two machines are typical: one
 // whose failures are explored and one that survives to observe the
 // post-failure memory.
+//
+// Machine structs are pooled across executions: resetExecution truncates
+// ck.machines to length 0 keeping the backing array, and the slots past
+// the length still hold last execution's structs for reuse here.
 func (p *Program) NewMachine(name string) *Machine {
 	ck := p.ck
-	if len(ck.machines) >= memmodel.MaxMachines {
+	n := len(ck.machines)
+	if n >= memmodel.MaxMachines {
 		panic(fmt.Sprintf("cxlmc: too many machines (max %d)", memmodel.MaxMachines))
 	}
-	m := &Machine{ck: ck, id: MachineID(len(ck.machines)), name: name}
-	ck.machines = append(ck.machines, m)
+	var m *Machine
+	if n < cap(ck.machines) && ck.machines[:n+1][n] != nil {
+		ck.machines = ck.machines[:n+1]
+		m = ck.machines[n]
+		m.threads = m.threads[:0]
+		m.joiners = m.joiners[:0]
+	} else {
+		m = &Machine{}
+		ck.machines = append(ck.machines, m)
+	}
+	m.ck = ck
+	m.id = MachineID(n)
+	m.name = name
+	m.failed = false
 	ck.fp.record("machine", name)
 	return m
 }
@@ -57,18 +74,24 @@ func (m *Machine) Threads() []*Thread { return m.threads }
 func (m *Machine) Failed() bool { return m.failed }
 
 // Thread adds a simulated thread running fn on the machine. Threads are
-// scheduled deterministically under the run's seed.
+// scheduled deterministically under the run's seed. Thread structs (and
+// their buffer state) are pooled across executions like machines.
 func (m *Machine) Thread(name string, fn func(*Thread)) *Thread {
 	ck := m.ck
-	t := &Thread{
-		ck:   ck,
-		mach: m,
-		name: name,
-		tb:   memmodel.NewThreadBuf(),
+	var t *Thread
+	if n := len(ck.threads); n < cap(ck.threads) && ck.threads[:n+1][n] != nil {
+		ck.threads = ck.threads[:n+1]
+		t = ck.threads[n]
+		t.tb.Reset()
+	} else {
+		t = &Thread{tb: memmodel.NewThreadBuf()}
+		ck.threads = append(ck.threads, t)
 	}
+	t.ck = ck
+	t.mach = m
+	t.name = name
 	t.st = ck.sch.NewThread(int(m.id), name, func(*sched.Thread) { fn(t) })
 	m.threads = append(m.threads, t)
-	ck.threads = append(ck.threads, t)
 	ck.fp.record("thread", m.name, name)
 	return t
 }
@@ -103,9 +126,21 @@ func (p *Program) Init64(addr Addr, val uint64) {
 // automatically and the next owner can ask whether it was acquired after
 // such a forced release.
 func (p *Program) NewMutex(name string) *Mutex {
-	mu := &Mutex{ck: p.ck, name: name}
-	p.ck.mutexes = append(p.ck.mutexes, mu)
-	p.ck.fp.record("mutex", name)
+	ck := p.ck
+	var mu *Mutex
+	if n := len(ck.mutexes); n < cap(ck.mutexes) && ck.mutexes[:n+1][n] != nil {
+		ck.mutexes = ck.mutexes[:n+1]
+		mu = ck.mutexes[n]
+		mu.waiters = mu.waiters[:0]
+	} else {
+		mu = &Mutex{}
+		ck.mutexes = append(ck.mutexes, mu)
+	}
+	mu.ck = ck
+	mu.name = name
+	mu.owner = nil
+	mu.releasedByFailure = false
+	ck.fp.record("mutex", name)
 	return mu
 }
 

@@ -145,29 +145,30 @@ func replayPath(cfg Config, program func(*Program), progDigest string, steps []d
 	return &Result{Stats: ck.stats, Bugs: ck.bugs, Seed: cfg.Seed, GPF: cfg.GPF}, ck.tree.Path(), nil
 }
 
-// minimizeTokens rewrites every found bug's repro token after the
+// minimizeBugTokens rewrites every found bug's repro token after the
 // exploration finished: injected failures (KindFailure branches taken)
 // that the bug does not need are greedily pruned, deepest first, as long
 // as the bug still reproduces with the same kind and message. Each
 // candidate pruning costs one replayed execution. Wedged bugs are
 // skipped — replaying them would re-wedge a real goroutine per attempt.
-func (ck *Checker) minimizeTokens() {
-	if len(ck.bugs) == 0 || ck.progDigest == "" {
+// It runs after the parallel engine merged all workers' bugs, so it is a
+// free function over the merged slice rather than a Checker method.
+func minimizeBugTokens(cfg Config, program func(*Program), progDigest string, bugs []Bug) {
+	if len(bugs) == 0 || progDigest == "" {
 		return
 	}
 	// Strip run-control knobs that must not fire during minimization
 	// replays; none of them are part of the config digest.
-	cfg := ck.cfg
 	cfg.Trace = nil
 	cfg.CaptureTrace = false
 	cfg.Stop = nil
 	cfg.CheckpointPath = ""
 	cfg.MaxTime = 0
-	for i := range ck.bugs {
-		if ck.bugs[i].Kind == BugWedged || ck.bugs[i].ReproToken == "" {
+	for i := range bugs {
+		if bugs[i].Kind == BugWedged || bugs[i].ReproToken == "" {
 			continue
 		}
-		ck.bugs[i].ReproToken = minimizeToken(cfg, ck.program, ck.progDigest, ck.bugs[i])
+		bugs[i].ReproToken = minimizeToken(cfg, program, progDigest, bugs[i])
 	}
 }
 

@@ -55,6 +55,14 @@ type Tree struct {
 	created [numKinds]int
 	execs   int
 	done    bool
+	// fixed is the length of the immutable prefix: nodes[:fixed] never
+	// advance or pop. A subtree work unit (NewSubtree, Split) owns only
+	// the executions beneath its prefix; the root tree has fixed == 0.
+	fixed int
+	// recorded is the number of preloaded nodes whose creation was
+	// already accounted for elsewhere (a replayed path's recording run, a
+	// Split victim). Only decisions at depth >= recorded count as fresh.
+	recorded int
 	// lenient replays tolerate divergence from the recorded prefix: the
 	// stale suffix is truncated and exploration continues with default
 	// branches. Used by path minimization, which perturbs recorded paths.
@@ -114,7 +122,13 @@ func (t *Tree) Choose(kind Kind, n int) int {
 		t.nodes = t.nodes[:t.depth]
 	}
 	t.nodes = append(t.nodes, node{kind: kind, n: n})
-	t.created[kind]++
+	// Nodes that merely replace part of a recorded prefix (possible only
+	// under lenient replay, where a perturbed path truncated the stale
+	// suffix above) were already counted by the recording run; only
+	// genuinely fresh decision points count.
+	if t.depth >= t.recorded {
+		t.created[kind]++
+	}
 	t.depth++
 	return 0
 }
@@ -126,13 +140,20 @@ func (t *Tree) Advance() bool {
 	if t.done {
 		return false
 	}
+	// An execution abandoned inside the fixed prefix (a wedge watchdog
+	// firing nondeterministically early) cannot be backtracked within
+	// this unit; give the subtree up rather than corrupt its prefix.
+	if t.depth < t.fixed {
+		t.done = true
+		return false
+	}
 	// Anything deeper than the replay cursor belongs to an abandoned
 	// subtree (possible when an execution was cut short by a bug) — but
 	// nodes past the cursor can only exist if the previous execution was
 	// shorter than its predecessor's recorded path, which Advance already
 	// trimmed. Trim defensively anyway.
 	t.nodes = t.nodes[:t.depth]
-	for len(t.nodes) > 0 {
+	for len(t.nodes) > t.fixed {
 		last := &t.nodes[len(t.nodes)-1]
 		if last.chosen+1 < last.n {
 			last.chosen++
@@ -157,3 +178,56 @@ func (t *Tree) Depth() int { return t.depth }
 
 // Done reports whether the tree is fully explored.
 func (t *Tree) Done() bool { return t.done }
+
+// NewSubtree returns a work unit covering exactly the executions beneath
+// prefix: the preloaded nodes are fixed (they replay but never advance),
+// so the unit's DFS exhausts the subtree rooted at the prefix's last
+// branch and then reports done. Prefix nodes count toward neither this
+// unit's creation statistics nor its fresh-decision accounting — their
+// creator already counted them.
+func NewSubtree(prefix []Step) *Tree {
+	t := &Tree{fixed: len(prefix), recorded: len(prefix)}
+	t.nodes = make([]node, len(prefix))
+	for i, s := range prefix {
+		t.nodes[i] = node{kind: s.Kind, n: s.N, chosen: s.Chosen}
+	}
+	return t
+}
+
+// Split donates unexplored branches to new work units. It scans for the
+// shallowest advanceable decision point outside the fixed prefix and
+// carves every branch it has not yet begun into its own subtree unit;
+// that node then joins this tree's fixed prefix, so the donated subtrees
+// are never visited here again. Splitting at the shallowest point hands
+// off the largest subtrees, which keeps a skewed DFS balanced. It
+// returns nil when nothing is splittable (every pending branch sits on
+// the current path's deepest node, or the tree is done).
+//
+// Split must only be called between executions (after Advance returned
+// true and before the next Begin), when nodes[:len(nodes)] is exactly
+// the next execution's replay prefix.
+func (t *Tree) Split() []*Tree {
+	if t.done {
+		return nil
+	}
+	for d := t.fixed; d < len(t.nodes); d++ {
+		nd := t.nodes[d]
+		if nd.chosen+1 >= nd.n {
+			continue
+		}
+		prefix := make([]Step, d+1)
+		for i := 0; i <= d; i++ {
+			prefix[i] = Step{Kind: t.nodes[i].kind, N: t.nodes[i].n, Chosen: t.nodes[i].chosen}
+		}
+		units := make([]*Tree, 0, nd.n-nd.chosen-1)
+		for b := nd.chosen + 1; b < nd.n; b++ {
+			p := make([]Step, len(prefix))
+			copy(p, prefix)
+			p[d].Chosen = b
+			units = append(units, NewSubtree(p))
+		}
+		t.fixed = d + 1
+		return units
+	}
+	return nil
+}

@@ -30,9 +30,14 @@ type Step struct {
 // Encoding magics and versions. The node payload is shared between the
 // two encodings; only the envelope differs.
 const (
-	snapshotMagic   = 0xD7 // full-tree snapshot
-	pathMagic       = 0xD8 // single-execution path
-	snapshotVersion = 1
+	snapshotMagic = 0xD7 // full-tree snapshot
+	pathMagic     = 0xD8 // single-execution path
+	// snapshotVersion 2 added the mandatory fixed-prefix length that
+	// subtree work units need; version-1 snapshots are rejected.
+	snapshotVersion = 2
+	// pathVersion stays at 1: repro-token paths did not change shape, and
+	// tokens recorded before parallel exploration still replay.
+	pathVersion = 1
 )
 
 func appendNodes(buf []byte, nodes []node) []byte {
@@ -96,7 +101,8 @@ func (t *Tree) Snapshot() []byte {
 	for _, c := range t.created {
 		buf = binary.AppendUvarint(buf, uint64(c))
 	}
-	return appendNodes(buf, t.nodes)
+	buf = appendNodes(buf, t.nodes)
+	return binary.AppendUvarint(buf, uint64(t.fixed))
 }
 
 // Restore replaces the tree's state with a previously-taken Snapshot,
@@ -133,14 +139,26 @@ func (t *Tree) Restore(data []byte) error {
 	if err != nil {
 		return err
 	}
+	fixed, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return fmt.Errorf("decision: truncated fixed-prefix length")
+	}
+	rest = rest[k:]
 	if len(rest) != 0 {
 		return fmt.Errorf("decision: %d trailing bytes after snapshot", len(rest))
+	}
+	if fixed > uint64(len(nodes)) {
+		return fmt.Errorf("decision: fixed prefix %d exceeds %d nodes", fixed, len(nodes))
 	}
 	t.nodes = nodes
 	t.depth = 0
 	t.created = created
 	t.execs = int(execs)
 	t.done = done
+	t.fixed = int(fixed)
+	// Preloaded-node accounting was settled before the snapshot was
+	// taken; only the fixed prefix is known to be someone else's.
+	t.recorded = int(fixed)
 	return nil
 }
 
@@ -161,7 +179,7 @@ func EncodePath(steps []Step) []byte {
 	for i, s := range steps {
 		nodes[i] = node{kind: s.Kind, n: s.N, chosen: s.Chosen}
 	}
-	return appendNodes([]byte{pathMagic, snapshotVersion}, nodes)
+	return appendNodes([]byte{pathMagic, pathVersion}, nodes)
 }
 
 // DecodePath parses a branch sequence produced by EncodePath.
@@ -169,8 +187,8 @@ func DecodePath(data []byte) ([]Step, error) {
 	if len(data) < 2 || data[0] != pathMagic {
 		return nil, fmt.Errorf("decision: not a path encoding")
 	}
-	if data[1] != snapshotVersion {
-		return nil, fmt.Errorf("decision: unsupported path version %d (want %d)", data[1], snapshotVersion)
+	if data[1] != pathVersion {
+		return nil, fmt.Errorf("decision: unsupported path version %d (want %d)", data[1], pathVersion)
 	}
 	nodes, rest, err := parseNodes(data[2:])
 	if err != nil {
@@ -194,7 +212,10 @@ func DecodePath(data []byte) ([]Step, error) {
 // and continues fresh instead of panicking — the mode path minimization
 // uses when it perturbs a recorded path.
 func NewReplayTree(steps []Step, lenient bool) *Tree {
-	t := &Tree{lenient: lenient}
+	// The recording run already counted every preloaded decision point;
+	// a replay's creation counters cover only genuinely fresh decisions,
+	// even when a lenient divergence truncates and re-derives a suffix.
+	t := &Tree{lenient: lenient, recorded: len(steps)}
 	t.nodes = make([]node, len(steps))
 	for i, s := range steps {
 		t.nodes[i] = node{kind: s.Kind, n: s.N, chosen: s.Chosen}

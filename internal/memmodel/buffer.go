@@ -80,6 +80,15 @@ func NewThreadBuf() *ThreadBuf {
 	return &ThreadBuf{TLine: make(map[LineID]Seq)}
 }
 
+// Reset empties the buffer state in place, keeping the entry slices and
+// timestamp map allocated for the next execution.
+func (tb *ThreadBuf) Reset() {
+	tb.SB = tb.SB[:0]
+	tb.FB = tb.FB[:0]
+	tb.TSfence = 0
+	clear(tb.TLine)
+}
+
 // ExecStore enqueues a store (Algorithm 1). The value must fit in size
 // bytes; the caller guarantees alignment within a cache line for sizes > 1
 // (x86 stores used by the benchmarks are naturally aligned, so a single

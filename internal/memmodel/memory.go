@@ -37,6 +37,21 @@ func NewMemory() *Memory {
 	}
 }
 
+// Reset returns the memory to the all-zero initial state while keeping
+// the allocated store logs, constraint table and line images for reuse —
+// the per-execution hot path of the checker pays no allocations for
+// memory it already touched in an earlier execution.
+func (m *Memory) Reset() {
+	m.seq = 0
+	for _, l := range m.lines {
+		l.stores = l.stores[:0]
+	}
+	clear(m.cons)
+	for _, img := range m.initial {
+		*img = [LineSize]byte{}
+	}
+}
+
 // Seq returns σ_curr, the timestamp of the most recent instruction that
 // took effect on the cache.
 func (m *Memory) Seq() Seq { return m.seq }

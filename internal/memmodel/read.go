@@ -41,18 +41,24 @@ type ReadContext struct {
 	Curr   MachineID
 	Failed FailSet
 	GPF    bool
+	// storesBuf is scratch reused by coveringStores; at most one result
+	// is live at a time (the lazy iterator consumes it before the next
+	// byte's search starts, and Algorithm 3 calls are sequential).
+	storesBuf []Store
 }
 
 // coveringStores returns the stores covering byte b in ascending Seq
-// order.
+// order. The result aliases the context's scratch buffer and is
+// invalidated by the next call.
 func (rc *ReadContext) coveringStores(b Addr) []Store {
 	all := rc.Mem.StoresOn(LineOf(b))
-	var out []Store
+	out := rc.storesBuf[:0]
 	for i := range all {
 		if all[i].Covers(b) {
 			out = append(out, all[i])
 		}
 	}
+	rc.storesBuf = out
 	return out
 }
 
@@ -187,10 +193,19 @@ type CandidateIter struct {
 // Candidates starts a lazy newest-first enumeration of the read-from set
 // for byte b.
 func (rc *ReadContext) Candidates(b Addr) *CandidateIter {
-	it := &CandidateIter{rc: rc, b: b, stores: rc.coveringStores(b), phi: rc.Failed}
+	it := &CandidateIter{}
+	rc.CandidatesInto(it, b)
+	return it
+}
+
+// CandidatesInto (re)initializes it in place for byte b, so a caller can
+// reuse one iterator across loads instead of allocating per byte. Only
+// one iterator per context may be live at a time: the enumeration reads
+// the context's shared store scratch buffer.
+func (rc *ReadContext) CandidatesInto(it *CandidateIter, b Addr) {
+	*it = CandidateIter{rc: rc, b: b, stores: rc.coveringStores(b), phi: rc.Failed}
 	it.idx = len(it.stores) - 1
 	it.advance()
-	return it
 }
 
 // advance computes the next candidate into it.pending.

@@ -89,6 +89,11 @@ func (t *Thread) State() State { return t.state }
 type Scheduler struct {
 	threads []*Thread
 	yield   chan *Thread
+	// free holds exited Thread structs (and their resume channels) from
+	// torn-down executions, reused by NewThread so the per-execution hot
+	// path does not reallocate them. Wedged threads are never pooled:
+	// their abandoned goroutines may still hold references.
+	free []*Thread
 	// watchdog is the reusable GrantTimeout timer, lazily created so the
 	// no-timeout hot path stays allocation free.
 	watchdog *time.Timer
@@ -102,17 +107,46 @@ func New() *Scheduler {
 	return &Scheduler{yield: make(chan *Thread)}
 }
 
+// Reset prepares the scheduler for the next execution after Teardown:
+// every non-wedged thread struct moves to the free list for reuse. It
+// must not be called if any thread wedged this execution — an abandoned
+// goroutine may yet send a stale baton on the shared yield channel, so
+// the whole scheduler must be discarded instead.
+func (s *Scheduler) Reset() {
+	for _, t := range s.threads {
+		if !t.wedged.Load() {
+			s.free = append(s.free, t)
+		}
+	}
+	s.threads = s.threads[:0]
+}
+
 // NewThread registers a simulated thread running fn. The goroutine starts
 // parked and runs only when granted.
 func (s *Scheduler) NewThread(machine int, name string, fn func(*Thread)) *Thread {
-	t := &Thread{
-		ID:      len(s.threads),
-		Machine: machine,
-		Name:    name,
-		sch:     s,
-		fn:      fn,
-		state:   Runnable,
-		resume:  make(chan struct{}),
+	var t *Thread
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free = s.free[:n-1]
+		t.ID = len(s.threads)
+		t.Machine = machine
+		t.Name = name
+		t.sch = s
+		t.fn = fn
+		t.state = Runnable
+		t.exited = false
+		t.started = false
+		t.BlockNote = ""
+	} else {
+		t = &Thread{
+			ID:      len(s.threads),
+			Machine: machine,
+			Name:    name,
+			sch:     s,
+			fn:      fn,
+			state:   Runnable,
+			resume:  make(chan struct{}),
+		}
 	}
 	s.threads = append(s.threads, t)
 	return t

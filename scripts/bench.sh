@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench.sh — run the Table 5 + parallel-scaling benchmarks and record
+# the results as BENCH_<date>.json in the repo root, seeding the perf
+# trajectory EXPERIMENTS.md tracks.
+#
+# Usage:
+#   scripts/bench.sh            full run (benchtime 3x, stable numbers)
+#   scripts/bench.sh --short    CI smoke run (benchtime 1x, fast)
+#
+# The JSON is a list of {benchmark, ns_op, b_op, allocs_op, metrics{}}
+# rows parsed from `go test -bench` output; the raw output is kept next
+# to it as BENCH_<date>.txt.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime=3x
+pattern='BenchmarkTable5|BenchmarkParallelScaling|BenchmarkFigure'
+if [ "${1:-}" = "--short" ]; then
+    benchtime=1x
+    pattern='BenchmarkTable5/CCEH$|BenchmarkParallelScaling|BenchmarkFigure3'
+fi
+
+date="$(date +%Y%m%d)"
+txt="BENCH_${date}.txt"
+json="BENCH_${date}.json"
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$txt"
+
+# Convert the benchmark lines to JSON. Format of a line:
+#   BenchmarkName-8  N  1234 ns/op  56 B/op  7 allocs/op  8.0 execs ...
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; allocs = ""; metrics = ""
+    for (i = 3; i < NF; i++) {
+        unit = $(i + 1)
+        if (unit == "ns/op") ns = $i
+        else if (unit == "B/op") bop = $i
+        else if (unit == "allocs/op") allocs = $i
+        else if (unit ~ /^[a-z-]+$/ && $i ~ /^[0-9.]+$/) {
+            if (metrics != "") metrics = metrics ","
+            metrics = metrics "\"" unit "\":" $i
+        }
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"benchmark\":\"%s\",\"ns_op\":%s", name, ns
+    if (bop != "") printf ",\"b_op\":%s", bop
+    if (allocs != "") printf ",\"allocs_op\":%s", allocs
+    printf ",\"metrics\":{%s}}", metrics
+}
+END { if (!first) print ""; print "]" }
+' "$txt" > "$json"
+
+echo "wrote $txt and $json"
