@@ -9,6 +9,9 @@
 //	      [-workers 0] [-cpuprofile file] [-memprofile file]
 //	      [-checkpoint file] [-checkpoint-every N] [-checkpoint-interval d]
 //	      [-wedge-timeout d] [-replay token]
+//	      [-mem-budget bytes] [-spill-dir dir] [-max-events N]
+//	      [-chaos] [-chaos-seed N]
+//	cxlmc -stress N [-seed 0] [-chaos]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
 // P-BwTree, P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress).
@@ -23,10 +26,25 @@
 //
 // Long explorations are resilient: -checkpoint persists progress
 // crash-safely and resumes from the same file on restart (checkpoints
-// are portable across -workers counts), Ctrl-C stops gracefully at the
-// next execution boundary (writing a final checkpoint), and -replay
-// re-runs the single execution a reported bug's repro token witnessed,
-// with tracing on.
+// are portable across -workers counts), Ctrl-C or SIGTERM stops
+// gracefully at the next execution boundary (writing a final
+// checkpoint), and -replay re-runs the single execution a reported
+// bug's repro token witnessed, with tracing on.
+//
+// Resource governance: -mem-budget caps the exploration's heap — over
+// budget, pooled state is released, cold frontier units spill to
+// -spill-dir, and as a last resort the run stops degraded with a valid
+// checkpoint instead of OOMing. -max-events bounds the decision points
+// one execution may create, turning per-execution state-space blowup
+// into a structured resource-exhausted bug report.
+//
+// -stress N runs the self-fuzzing harness over N seeded random
+// programs (starting at -seed), checking the checker's own invariants:
+// no panics, serial/parallel parity, every repro token replays. With
+// -chaos each sampled program additionally interrupts and resumes the
+// exploration under seeded fault injection and requires convergence to
+// the uninterrupted result. -chaos also works with -bench, injecting
+// faults (seeded by -chaos-seed) into that run's checkpoint I/O.
 package main
 
 import (
@@ -38,6 +56,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	cxlmc "repro"
 	"repro/internal/cxlshm"
@@ -75,11 +94,27 @@ func run() int {
 		checkers   = flag.Int("workers", 0, "parallel exploration workers (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the exploration to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the exploration) to this file")
+		memBudget  = flag.Uint64("mem-budget", 0, "soft heap budget in bytes; over it the run degrades gracefully instead of OOMing (0 = off)")
+		spillDir   = flag.String("spill-dir", "", "directory the governor may spill cold frontier units to under memory pressure")
+		maxEvents  = flag.Int("max-events", 0, "cap on decision points per execution; exceeding it is reported as a resource-exhausted bug (0 = off)")
+		chaosOn    = flag.Bool("chaos", false, "inject seeded faults into checkpoint I/O and worker scheduling (with -stress: add the resume-under-chaos leg)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
+		stress     = flag.Int("stress", 0, "self-fuzz N seeded random programs (starting at -seed) instead of running a benchmark")
 	)
 	flag.Parse()
 
 	if *list {
 		listBenchmarks()
+		return 0
+	}
+	if *stress > 0 {
+		bad := harness.Swarm(os.Stdout, *seed, *stress, harness.StressOptions{Chaos: *chaosOn})
+		if len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "cxlmc: %d of %d stress programs violated checker invariants\n", len(bad), *stress)
+			return 1
+		}
+		fmt.Printf("stress      %d programs (seeds %d..%d), zero checker-invariant violations\n",
+			*stress, *seed, *seed+int64(*stress)-1)
 		return 0
 	}
 	if *bench == "" {
@@ -101,10 +136,23 @@ func run() int {
 		Seed: *seed, GPF: *gpf, Poison: *poison, Workers: *checkers,
 		MaxExecutions: *maxExecs, MaxTime: *maxTime,
 		CheckpointPath: *checkpoint, CheckpointEvery: *cpEvery, CheckpointInterval: *cpInterval,
-		WedgeTimeout: *wedge,
+		WedgeTimeout:   *wedge,
+		MemBudgetBytes: *memBudget, SpillDir: *spillDir, MaxEventsPerExec: *maxEvents,
 	}
 	if *trace {
 		cfg.Trace = os.Stdout
+	}
+	if *chaosOn {
+		cfg.Chaos = cxlmc.NewChaos(cxlmc.ChaosConfig{
+			Seed:          *chaosSeed,
+			WriteErrPct:   20,
+			ReadErrPct:    10,
+			SyncErrPct:    10,
+			RenameErrPct:  10,
+			ShortWritePct: 50,
+			StallPct:      5,
+			MaxFaults:     200,
+		})
 	}
 
 	if *cpuprofile != "" {
@@ -176,15 +224,16 @@ func run() int {
 		return 0
 	}
 
-	// Ctrl-C requests graceful interruption: the run stops at the next
-	// execution boundary and, with -checkpoint, persists its progress. A
-	// second Ctrl-C kills the process the usual way.
+	// Ctrl-C or SIGTERM (the signal process supervisors and batch
+	// schedulers send) requests graceful interruption: the run stops at
+	// the next execution boundary and, with -checkpoint, persists its
+	// progress. A second signal kills the process the usual way.
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-sig
-		fmt.Fprintln(os.Stderr, "cxlmc: interrupt — stopping at the next execution boundary (Ctrl-C again to kill)")
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "cxlmc: %v — stopping at the next execution boundary (again to kill)\n", s)
 		close(stop)
 		signal.Stop(sig)
 	}()
@@ -205,6 +254,16 @@ func run() int {
 		fmt.Printf("time        %v\n", res.Elapsed)
 		if res.Resumed {
 			fmt.Println("resumed     from checkpoint")
+		}
+		if res.Quarantined {
+			fmt.Printf("quarantined corrupt checkpoint moved to %s.corrupt, started fresh\n", *checkpoint)
+		}
+		if res.Degraded {
+			fmt.Printf("degraded    memory governor acted (budget %d bytes, %d unit(s) spilled)\n",
+				*memBudget, res.Spills)
+		}
+		if res.CheckpointErrors > 0 {
+			fmt.Printf("cp-errors   %d periodic checkpoint write(s) failed and were tolerated\n", res.CheckpointErrors)
 		}
 		if res.Interrupted {
 			where := "progress discarded (no -checkpoint)"

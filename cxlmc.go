@@ -58,7 +58,10 @@
 // model checked — vary Seed to fuzz schedules, as the paper does.
 package cxlmc
 
-import "repro/internal/core"
+import (
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
 
 // Config controls a model-checking run. The zero value uses sensible
 // defaults (seed 0, no GPF, no poisoning, full exploration).
@@ -118,7 +121,28 @@ const (
 	// simulated API longer than Config.WedgeTimeout, abandoned by the
 	// watchdog instead of hanging the run.
 	BugWedged = core.BugWedged
+	// BugResourceExhausted is a single execution that exceeded
+	// Config.MaxEventsPerExec decision points: per-execution state-space
+	// blowup, diagnosed structurally instead of walked unboundedly.
+	BugResourceExhausted = core.BugResourceExhausted
 )
+
+// ChaosConfig configures the deterministic fault injector: per-class
+// fault probabilities, a seed, and an overall fault budget.
+type ChaosConfig = chaos.Config
+
+// ChaosInjector is a seeded, deterministic fault injector the engine
+// consults around checkpoint I/O and worker scheduling; wire one in via
+// Config.Chaos to harden-test long runs. A nil injector is inert.
+type ChaosInjector = chaos.Injector
+
+// ChaosStats counts the faults an injector actually delivered.
+type ChaosStats = chaos.Stats
+
+// NewChaos builds a fault injector from cfg.
+func NewChaos(cfg ChaosConfig) *ChaosInjector {
+	return chaos.New(cfg)
+}
 
 // InternalError is a violated checker invariant (a bug in cxlmc itself),
 // returned from Run with the seed and decision path needed to reproduce

@@ -216,6 +216,14 @@ func (ck *Checker) runOneExecution() {
 			ck.reportBug(BugLivelock, fmt.Sprintf("step limit exceeded (%d): livelock in checked program?", ck.cfg.MaxStepsPerExec), nil)
 			return
 		}
+		// A per-execution decision-event budget turns state-space blowup in
+		// one execution (a flush/fence storm multiplying crash branches)
+		// into a structured diagnosis instead of an unbounded tree walk.
+		if ck.cfg.MaxEventsPerExec > 0 && ck.tree.Depth() > ck.cfg.MaxEventsPerExec {
+			ck.reportBug(BugResourceExhausted, fmt.Sprintf(
+				"decision-event limit exceeded (%d): per-execution state-space blowup in checked program?", ck.cfg.MaxEventsPerExec), nil)
+			return
+		}
 		// Honor MaxTime mid-execution, at step granularity; the check is
 		// throttled so the hot loop does not pay a clock read per step.
 		if !ck.deadline.IsZero() && steps&1023 == 0 && time.Now().After(ck.deadline) {

@@ -9,8 +9,10 @@ import (
 	"hash"
 	"io/fs"
 	"os"
+	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/decision"
 )
 
@@ -60,13 +62,18 @@ const numDecisionKinds = 3
 
 // configDigest fingerprints the configuration fields that shape the
 // decision tree. Budget and reporting knobs (MaxExecutions, MaxTime,
-// Stop, checkpoint cadence, tracing) are deliberately excluded: resuming
-// with a different budget is the point of checkpoints. The seed is
-// checked separately for a clearer error message.
+// Stop, checkpoint cadence, tracing, MemBudgetBytes/SpillDir, Chaos) are
+// deliberately excluded: resuming with a different budget — or without
+// the chaos that interrupted the original run — is the point of
+// checkpoints. MaxEventsPerExec is included because, like
+// MaxStepsPerExec, it prunes the tree and therefore changes what a
+// checkpoint or repro token means. The seed is checked separately for a
+// clearer error message.
 func configDigest(cfg Config) string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"cxlmc-config-v1 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t",
-		cfg.GPF, cfg.Poison, cfg.MaxStepsPerExec, cfg.MemSize, cfg.CommitChance, cfg.EagerReadSet)))
+		"cxlmc-config-v2 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t maxevents=%d",
+		cfg.GPF, cfg.Poison, cfg.MaxStepsPerExec, cfg.MemSize, cfg.CommitChance, cfg.EagerReadSet,
+		cfg.MaxEventsPerExec)))
 	return hex.EncodeToString(h[:8])
 }
 
@@ -110,11 +117,136 @@ func programDigestOf(cfg Config, program func(*Program)) (digest string, err err
 	return hex.EncodeToString(fp.h.Sum(nil))[:16], nil
 }
 
+// corruptCheckpointError classifies a checkpoint that cannot be decoded
+// — truncated, bit-flipped, or carrying undecodable unit snapshots. The
+// engine reacts by quarantining the file (rename to <path>.corrupt) and
+// starting fresh, because a corrupt checkpoint is recoverable state
+// loss, not an unrecoverable configuration problem. Identity mismatches
+// (wrong seed/config/program) and version skew stay hard errors: those
+// files are fine, the run is asking for the wrong thing.
+type corruptCheckpointError struct {
+	path string
+	err  error
+}
+
+func (e *corruptCheckpointError) Error() string {
+	return fmt.Sprintf("cxlmc: checkpoint %s is corrupt: %v", e.path, e.err)
+}
+
+func (e *corruptCheckpointError) Unwrap() error { return e.err }
+
+// I/O retry policy for checkpoint and spill files: transient errors
+// (chaos-injected ones, and the usual interruptible-syscall suspects)
+// are retried a few times with exponential backoff; permanent errors
+// (ENOSPC, EACCES, ...) surface immediately.
+const ioAttempts = 5
+
+func ioBackoff(attempt int) time.Duration {
+	return time.Millisecond << uint(attempt-1) // 1, 2, 4, 8 ms
+}
+
+func transientIO(err error) bool {
+	return chaos.IsTransient(err) ||
+		errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// readFileRetry reads a whole file through the chaos injector, retrying
+// transient faults. A missing file is returned as the os error
+// unwrapped to fs.ErrNotExist, untouched by injection, so "no checkpoint
+// yet" stays distinguishable.
+func readFileRetry(path string, inj *chaos.Injector) ([]byte, error) {
+	var lastErr error
+	for attempt := 1; attempt <= ioAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(ioBackoff(attempt - 1))
+		}
+		if err := inj.ReadFault(); err != nil {
+			lastErr = err
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, err
+			}
+			lastErr = err
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		return inj.Corrupt(raw), nil
+	}
+	return nil, lastErr
+}
+
+// writeFileRetry writes data to path (plain, non-atomic — used for spill
+// files, which are process-local scratch) with the same retry policy.
+func writeFileRetry(path string, data []byte, inj *chaos.Injector) error {
+	var lastErr error
+	for attempt := 1; attempt <= ioAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(ioBackoff(attempt - 1))
+		}
+		if n, err := inj.WriteFault(len(data)); err != nil {
+			lastErr = err
+			if n > 0 {
+				// Torn write: leave the prefix behind, like a real crash
+				// would; the retry's O_TRUNC rewrite heals it.
+				os.WriteFile(path, data[:n], 0o644)
+			}
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			lastErr = err
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// renameRetry renames with the retry policy.
+func renameRetry(oldpath, newpath string, inj *chaos.Injector) error {
+	var lastErr error
+	for attempt := 1; attempt <= ioAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(ioBackoff(attempt - 1))
+		}
+		if err := inj.RenameFault(); err != nil {
+			lastErr = err
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		if err := os.Rename(oldpath, newpath); err != nil {
+			lastErr = err
+			if !transientIO(err) {
+				break
+			}
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
 // loadCheckpoint reads and validates the checkpoint file at path. A
-// missing file is not an error (the run simply starts fresh); a
-// corrupt or version-mismatched file is.
-func loadCheckpoint(path string) (*checkpointData, error) {
-	raw, err := os.ReadFile(path)
+// missing file is not an error (the run simply starts fresh); an
+// undecodable file is returned as a *corruptCheckpointError so the
+// engine can quarantine it; version skew is a hard error.
+func loadCheckpoint(path string, inj *chaos.Injector) (*checkpointData, error) {
+	raw, err := readFileRetry(path, inj)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -123,7 +255,7 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	}
 	var cp checkpointData
 	if err := json.Unmarshal(raw, &cp); err != nil {
-		return nil, fmt.Errorf("cxlmc: checkpoint %s is corrupt: %w", path, err)
+		return nil, &corruptCheckpointError{path: path, err: err}
 	}
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("cxlmc: checkpoint %s has version %d, this build reads version %d",
@@ -132,24 +264,68 @@ func loadCheckpoint(path string) (*checkpointData, error) {
 	return &cp, nil
 }
 
+// quarantineCheckpoint moves an undecodable checkpoint aside (rename to
+// <path>.corrupt, preserved for post-mortems) so the run can start
+// fresh with the path free for new checkpoints.
+func quarantineCheckpoint(path string, inj *chaos.Injector) error {
+	return renameRetry(path, path+".corrupt", inj)
+}
+
 // writeCheckpointFile writes cp crash-safely: the bytes go to a sibling
 // temp file which is fsynced and atomically renamed over path, so a
 // crash at any point leaves either the old checkpoint or the new one,
-// never a torn file.
-func writeCheckpointFile(path string, cp *checkpointData) error {
+// never a torn file. Transient I/O errors — injected by chaos, or the
+// interruptible-syscall kind — are absorbed by a bounded
+// retry-with-backoff; each attempt rebuilds the temp file from scratch,
+// so a torn earlier attempt cannot leak into the installed checkpoint.
+func writeCheckpointFile(path string, cp *checkpointData, inj *chaos.Injector) error {
 	raw, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("cxlmc: encoding checkpoint: %w", err)
 	}
+	var lastErr error
+	for attempt := 1; attempt <= ioAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(ioBackoff(attempt - 1))
+		}
+		err := writeCheckpointOnce(path, raw, inj)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !transientIO(err) {
+			break
+		}
+	}
+	return lastErr
+}
+
+// writeCheckpointOnce is one temp-file + fsync + rename attempt. On any
+// failure the temp file is removed, so no partial .tmp outlives the
+// attempt.
+func writeCheckpointOnce(path string, raw []byte, inj *chaos.Injector) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("cxlmc: writing checkpoint: %w", err)
 	}
+	if n, ferr := inj.WriteFault(len(raw)); ferr != nil {
+		if n > 0 {
+			f.Write(raw[:n]) // the torn prefix a real short write leaves
+		}
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: writing checkpoint: %w", ferr)
+	}
 	if _, err := f.Write(raw); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("cxlmc: writing checkpoint: %w", err)
+	}
+	if err := inj.SyncFault(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: syncing checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -159,6 +335,10 @@ func writeCheckpointFile(path string, cp *checkpointData) error {
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("cxlmc: closing checkpoint: %w", err)
+	}
+	if err := inj.RenameFault(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cxlmc: installing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/memmodel"
 )
 
@@ -139,6 +140,51 @@ type Config struct {
 	// count resumes under any other.
 	Workers int
 
+	// MemBudgetBytes is a soft heap budget for the whole exploration; 0
+	// means unbounded. When the process heap exceeds it, a governor in
+	// the parallel coordinator degrades gracefully in stages rather than
+	// letting the run be OOM-killed: pooled per-execution arenas are
+	// released, cold subtree work units are spilled to SpillDir, and as a
+	// last resort the run stops with a valid final checkpoint and
+	// Stats.Degraded set. The budget governs the checker's own memory,
+	// not the simulated region (MemSize); it never changes WHAT is
+	// explored, only how much of it this process gets through.
+	MemBudgetBytes uint64
+
+	// SpillDir names a directory the governor may spill cold subtree
+	// work units to (snapshot-encoded, one file per unit) when the
+	// memory budget is under pressure or the work-stealing frontier
+	// grows large; spilled units are reloaded transparently as workers
+	// drain the in-memory frontier. Empty disables spilling (the
+	// governor skips straight from arena release to a degraded stop).
+	SpillDir string
+
+	// GovernorEvery is the governor's sampling cadence in executions;
+	// the worker crossing the boundary samples heap use and frontier
+	// size and escalates the degradation stage while the budget stays
+	// exceeded. 0 means the default of 256. Only meaningful with
+	// MemBudgetBytes set.
+	GovernorEvery int
+
+	// MaxEventsPerExec bounds the decision points a single execution may
+	// create; 0 means unlimited. A pathological program whose one
+	// execution's crash state-space blows up (thousands of failure and
+	// read-from points before the program even terminates) becomes a
+	// structured BugResourceExhausted diagnosis instead of an
+	// out-of-memory wedge. Like MaxStepsPerExec it is part of the
+	// exploration semantics (it prunes the tree), so it participates in
+	// the checkpoint/repro-token configuration digest.
+	MaxEventsPerExec int
+
+	// Chaos, when non-nil, injects deterministic faults into the
+	// checker's own resilience machinery: transient or permanent I/O
+	// errors behind checkpoint and spill file operations, torn writes,
+	// bit flips on read, worker stalls, and spurious wakeups and
+	// checkpoint barriers. It exists to prove the error paths work —
+	// chaos never changes the explored execution set, only how bumpy the
+	// road there is. See package repro/internal/chaos.
+	Chaos *chaos.Injector
+
 	// WedgeTimeout bounds the wall-clock time a simulated thread may run
 	// between scheduler yields. A checked-program callback that blocks
 	// outside the simulated API (a real channel receive, a syscall) hangs
@@ -176,6 +222,9 @@ func (c *Config) fillDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.GovernorEvery <= 0 {
+		c.GovernorEvery = 256
+	}
 	if c.Trace != nil {
 		c.Workers = 1
 	}
@@ -207,6 +256,11 @@ const (
 	// simulated API for longer than the watchdog allowed (WedgeTimeout),
 	// so the lock-step scheduler abandoned it instead of hanging.
 	BugWedged
+	// BugResourceExhausted means a single execution created more
+	// decision points than MaxEventsPerExec allows: the program's
+	// per-execution crash state-space is blowing up, and the checker
+	// diagnoses it structurally instead of exhausting memory.
+	BugResourceExhausted
 )
 
 func (k BugKind) String() string {
@@ -225,6 +279,8 @@ func (k BugKind) String() string {
 		return "livelock"
 	case BugWedged:
 		return "wedged"
+	case BugResourceExhausted:
+		return "resource-exhausted"
 	}
 	return "unknown"
 }
@@ -278,6 +334,26 @@ type Stats struct {
 	// Config.CheckpointPath. Executions, Steps and Elapsed are cumulative
 	// across the original run and every resumption.
 	Resumed bool
+	// Degraded reports that the memory-budget governor had to act:
+	// pooled arenas were released, work units were spilled, or the run
+	// was stopped early to stay within MemBudgetBytes. A degraded run
+	// with Complete false covered only part of the state space; its
+	// checkpoint resumes exactly where it stopped.
+	Degraded bool
+	// Spills counts subtree work units the governor spilled to SpillDir
+	// over the run.
+	Spills int
+	// CheckpointErrors counts periodic checkpoint writes that failed
+	// even after retries. The run keeps exploring — the previous
+	// checkpoint file is still valid and a later cadence retries — but a
+	// nonzero count means resuming would lose more than one checkpoint
+	// interval of progress. Only a failed FINAL checkpoint write fails
+	// the run.
+	CheckpointErrors int
+	// Quarantined reports that a corrupt checkpoint file was found at
+	// startup, renamed to <path>.corrupt, and the run started fresh
+	// instead of failing.
+	Quarantined bool
 }
 
 // Result is the outcome of a model-checking run.

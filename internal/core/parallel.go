@@ -32,13 +32,26 @@ package core
 // so there is exactly one exploration code path for all worker counts.
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/decision"
 )
+
+// spillEntry is a frontier unit parked on disk by the resource governor:
+// the snapshot bytes live in a file under Config.SpillDir, and only the
+// unit's decision-point counters stay in memory (they feed Stats and the
+// final totals even if the unit is never reloaded).
+type spillEntry struct {
+	path    string
+	created [numDecisionKinds]int
+}
 
 // engine coordinates the worker pool for one Run.
 type engine struct {
@@ -89,6 +102,32 @@ type engine struct {
 	cpUnits     [][]byte
 	lastCPExecs int
 	lastCPTime  time.Time
+
+	// Resource-governor state. The governor runs in the execution-boundary
+	// critical section every GovernorEvery executions (boundary-driven, not
+	// a timer, so budget behaviour is deterministic in tests) and escalates
+	// through govStage while the heap stays over MemBudgetBytes: release
+	// pooled arenas, spill cold frontier units, finally stop with a valid
+	// checkpoint.
+	govStage     int
+	lastGovExecs int
+	// poolEpoch asks workers to drop their pooled per-checker arenas: each
+	// worker compares its own epoch at the next boundary and marks its
+	// checker dirty, which makes resetExecution rebuild from scratch.
+	poolEpoch int
+	degraded  bool
+	// spilled holds frontier units parked on disk, LIFO; spillFail latches
+	// after a persistent spill I/O error and disables further spilling
+	// (units then just stay in memory).
+	spilled   []spillEntry
+	spillSeq  int
+	spills    int
+	spillFail bool
+	// cpErrs counts tolerated periodic-checkpoint write failures; the
+	// previously-installed checkpoint stays valid (atomic rename), so the
+	// run keeps exploring. Only a failed *final* write fails the run.
+	cpErrs      int
+	quarantined bool
 }
 
 // worker is the per-goroutine exploration state.
@@ -101,6 +140,9 @@ type worker struct {
 	// incremental.
 	mergedSteps int64
 	mergedBugs  int
+	// poolEpoch lags engine.poolEpoch; a mismatch at a boundary means the
+	// governor asked for pooled arenas to be released.
+	poolEpoch int
 }
 
 func newEngine(cfg Config, program func(*Program), progDigest string) *engine {
@@ -123,19 +165,27 @@ func (e *engine) run() (*Result, error) {
 		e.deadline = e.start.Add(e.cfg.MaxTime)
 	}
 	if e.cfg.CheckpointPath != "" {
-		cp, err := loadCheckpoint(e.cfg.CheckpointPath)
-		if err != nil {
-			return nil, err
-		}
-		if cp != nil {
-			if err := e.adoptCheckpoint(cp); err != nil {
-				return nil, err
-			}
-			if cp.Complete || len(e.queue) == 0 {
+		cp, err := loadCheckpoint(e.cfg.CheckpointPath, e.cfg.Chaos)
+		if err == nil && cp != nil {
+			err = e.adoptCheckpoint(cp)
+			if err == nil && (cp.Complete || len(e.queue) == 0) {
 				// The checkpointed exploration already finished; return its
 				// result without re-exploring anything.
 				return e.result(true), nil
 			}
+		}
+		if err != nil {
+			// An undecodable checkpoint is quarantined (renamed aside for
+			// post-mortems) and the run starts fresh; identity mismatches
+			// and version skew stay hard errors — see loadCheckpoint.
+			var corrupt *corruptCheckpointError
+			if !errors.As(err, &corrupt) {
+				return nil, err
+			}
+			if qerr := quarantineCheckpoint(e.cfg.CheckpointPath, e.cfg.Chaos); qerr != nil {
+				return nil, fmt.Errorf("%w (and quarantining it failed: %v)", err, qerr)
+			}
+			e.quarantined = true
 		}
 	}
 	if !e.resumed {
@@ -171,12 +221,14 @@ func (e *engine) run() (*Result, error) {
 	wg.Wait()
 
 	if e.haveP {
+		e.cleanupSpills()
 		panic(e.panicked)
 	}
 	if e.failErr != nil {
+		e.cleanupSpills()
 		return nil, e.failErr
 	}
-	complete := !e.stopFlag && len(e.queue) == 0
+	complete := !e.stopFlag && len(e.queue) == 0 && len(e.spilled) == 0
 	if e.cfg.Workers > 1 {
 		// Discovery order is nondeterministic across workers; report bugs
 		// in a stable order instead.
@@ -190,16 +242,34 @@ func (e *engine) run() (*Result, error) {
 	minimizeBugTokens(e.cfg, e.program, e.progDigest, e.bugs)
 	res := e.result(complete)
 	if e.cfg.CheckpointPath != "" {
-		if err := writeCheckpointFile(e.cfg.CheckpointPath, e.checkpointData(complete)); err != nil {
+		cp, err := e.checkpointData(complete)
+		if err == nil {
+			err = writeCheckpointFile(e.cfg.CheckpointPath, cp, e.cfg.Chaos)
+		}
+		if err != nil {
+			// The final write must succeed: without it the run's remaining
+			// frontier (including anything still spilled) would be lost.
+			// Spill files are kept so the failure is inspectable.
 			return nil, err
 		}
 	}
+	// Spill files are process-local scratch — checkpoints embed their
+	// bytes, never reference the paths — so they never outlive the run.
+	e.cleanupSpills()
 	return res, nil
+}
+
+// cleanupSpills removes any remaining spill files. Called after the pool
+// has drained, so no locking is needed.
+func (e *engine) cleanupSpills() {
+	for _, ent := range e.spilled {
+		os.Remove(ent.path)
+	}
 }
 
 // result assembles the Result from the engine's final state. Point
 // counters are the completed units' totals plus whatever the still-queued
-// units created before being released.
+// (or still-spilled) units created before being released.
 func (e *engine) result(complete bool) *Result {
 	created := e.created
 	for _, tr := range e.queue {
@@ -207,29 +277,58 @@ func (e *engine) result(complete bool) *Result {
 		created[decision.KindFailure] += tr.Created(decision.KindFailure)
 		created[decision.KindPoison] += tr.Created(decision.KindPoison)
 	}
+	for _, ent := range e.spilled {
+		for i, c := range ent.created {
+			created[i] += c
+		}
+	}
 	stats := Stats{
-		Executions:     e.execs,
-		FailurePoints:  created[decision.KindFailure],
-		ReadFromPoints: created[decision.KindReadFrom],
-		PoisonPoints:   created[decision.KindPoison],
-		Steps:          e.steps,
-		Elapsed:        e.prior + time.Since(e.start),
-		Complete:       complete,
-		Interrupted:    e.interrupted,
-		Resumed:        e.resumed,
+		Executions:       e.execs,
+		FailurePoints:    created[decision.KindFailure],
+		ReadFromPoints:   created[decision.KindReadFrom],
+		PoisonPoints:     created[decision.KindPoison],
+		Steps:            e.steps,
+		Elapsed:          e.prior + time.Since(e.start),
+		Complete:         complete,
+		Interrupted:      e.interrupted,
+		Resumed:          e.resumed,
+		Degraded:         e.degraded,
+		Spills:           e.spills,
+		CheckpointErrors: e.cpErrs,
+		Quarantined:      e.quarantined,
 	}
 	return &Result{Stats: stats, Bugs: e.bugs, Seed: e.cfg.Seed, GPF: e.cfg.GPF}
+}
+
+// frontierSnapshotsLocked collects the full unexplored frontier as unit
+// snapshots: the caller's deposited snapshots, the in-memory queue, and
+// the spilled files read back from disk (their bytes ARE snapshots, so
+// they embed directly — a checkpoint never references a spill path).
+func (e *engine) frontierSnapshotsLocked(deposited [][]byte) ([][]byte, error) {
+	units := make([][]byte, 0, len(deposited)+len(e.queue)+len(e.spilled))
+	units = append(units, deposited...)
+	for _, tr := range e.queue {
+		units = append(units, tr.Snapshot())
+	}
+	for _, ent := range e.spilled {
+		raw, err := readFileRetry(ent.path, e.cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("cxlmc: reading spilled unit %s: %w", ent.path, err)
+		}
+		units = append(units, raw)
+	}
+	return units, nil
 }
 
 // checkpointData captures the current frontier; the caller guarantees no
 // worker owns a unit (run end) or holds every owned unit deposited
 // (finishRoundLocked passes deposited snapshots via cpUnits instead).
-func (e *engine) checkpointData(complete bool) *checkpointData {
-	units := make([][]byte, 0, len(e.queue))
-	for _, tr := range e.queue {
-		units = append(units, tr.Snapshot())
+func (e *engine) checkpointData(complete bool) (*checkpointData, error) {
+	units, err := e.frontierSnapshotsLocked(nil)
+	if err != nil {
+		return nil, err
 	}
-	return e.envelope(units, complete)
+	return e.envelope(units, complete), nil
 }
 
 func (e *engine) envelope(units [][]byte, complete bool) *checkpointData {
@@ -265,19 +364,29 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 		return fmt.Errorf("cxlmc: checkpoint %s was written for a different program (digest %s, this program %s): the program structure changed since the checkpoint",
 			path, cp.ProgramDigest, e.progDigest)
 	}
+	// Stage every unit before mutating engine state: a snapshot that does
+	// not decode marks the whole checkpoint corrupt (quarantined by the
+	// caller), and a half-adopted frontier must not leak into the fresh
+	// start that follows.
+	var queue []*decision.Tree
+	var finished [numDecisionKinds]int
 	for _, raw := range cp.Units {
 		tr := decision.NewTree()
 		if err := tr.Restore(raw); err != nil {
-			return fmt.Errorf("cxlmc: checkpoint %s: %v", path, err)
+			return &corruptCheckpointError{path: path, err: err}
 		}
 		if !tr.Done() {
-			e.queue = append(e.queue, tr)
+			queue = append(queue, tr)
 		} else {
 			// A finished unit's counters still belong in the totals.
-			e.created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
-			e.created[decision.KindFailure] += tr.Created(decision.KindFailure)
-			e.created[decision.KindPoison] += tr.Created(decision.KindPoison)
+			finished[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
+			finished[decision.KindFailure] += tr.Created(decision.KindFailure)
+			finished[decision.KindPoison] += tr.Created(decision.KindPoison)
 		}
+	}
+	e.queue = queue
+	for i, c := range finished {
+		e.created[i] += c
 	}
 	e.execs = cp.Executions
 	e.steps = cp.Steps
@@ -305,7 +414,14 @@ func (e *engine) take() *decision.Tree {
 		if e.stopFlag || e.failErr != nil {
 			return nil
 		}
-		if len(e.queue) == 0 && e.active == 0 {
+		if len(e.queue) == 0 && len(e.spilled) > 0 && !e.cpArmed {
+			// The in-memory frontier is dry but units are parked on disk:
+			// reload one and hand it out. Holding mu through the read keeps
+			// the unspill serialized; the queue is empty anyway.
+			e.unspillLocked()
+			continue
+		}
+		if len(e.queue) == 0 && len(e.spilled) == 0 && e.active == 0 {
 			return nil
 		}
 		if len(e.queue) > 0 && !e.cpArmed {
@@ -316,6 +432,27 @@ func (e *engine) take() *decision.Tree {
 		}
 		e.cond.Wait()
 	}
+}
+
+// unspillLocked reloads the most recently spilled unit into the queue.
+// A unit that cannot be read back or decoded fails the run: its subtree
+// would otherwise silently vanish from the exploration.
+func (e *engine) unspillLocked() {
+	ent := e.spilled[len(e.spilled)-1]
+	e.spilled = e.spilled[:len(e.spilled)-1]
+	raw, err := readFileRetry(ent.path, e.cfg.Chaos)
+	if err != nil {
+		e.failLocked(fmt.Errorf("cxlmc: reading spilled unit %s: %w", ent.path, err))
+		return
+	}
+	tr := decision.NewTree()
+	if err := tr.Restore(raw); err != nil {
+		e.failLocked(fmt.Errorf("cxlmc: spilled unit %s: %w", ent.path, err))
+		return
+	}
+	os.Remove(ent.path)
+	e.queue = append(e.queue, tr)
+	e.cond.Broadcast()
 }
 
 // runUnit explores one subtree unit on w's private checker until the
@@ -352,7 +489,23 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 
 	first := true
 	for {
+		// Chaos: a worker stall models scheduler hiccups and slow I/O; it
+		// happens outside the lock so it perturbs interleaving, not the
+		// critical section.
+		e.cfg.Chaos.Stall()
 		e.mu.Lock()
+		// Chaos: a spurious wakeup exercises every cond.Wait loop's
+		// predicate re-check.
+		if e.cfg.Chaos.SpuriousWake() {
+			e.cond.Broadcast()
+		}
+		// The governor asked for pooled arenas to be dropped: mark the
+		// private checker dirty so its next reset rebuilds from scratch
+		// instead of reusing the pooled scheduler/arena/memory state.
+		if w.poolEpoch != e.poolEpoch {
+			w.poolEpoch = e.poolEpoch
+			ck.dirty = true
+		}
 		if !first {
 			// Execution boundary: fold the finished execution into the
 			// engine, then run the serial loop's cutoff checks in the
@@ -418,16 +571,37 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 				e.mu.Unlock()
 				return
 			}
-			// Donate work: peers are starving and the queue is dry, so
-			// carve unexplored branches off this unit. With one worker
-			// nobody is ever hungry and the serial DFS order is untouched.
+			// Resource governor: sample the heap against the budget every
+			// GovernorEvery executions, at a boundary so its reactions are
+			// deterministic under a fixed schedule. It may stop the run
+			// (stage 3); the unit then returns to the queue for the final
+			// checkpoint like any other stop.
+			if (e.cfg.MemBudgetBytes > 0 || e.cfg.SpillDir != "") &&
+				e.execs-e.lastGovExecs >= e.cfg.GovernorEvery {
+				e.lastGovExecs = e.execs
+				e.governLocked()
+				if e.stopFlag {
+					e.endUnitLocked(w, tr, true)
+					released = true
+					e.mu.Unlock()
+					return
+				}
+			}
+			// Donate work: peers are starving and the in-memory queue is
+			// dry, so carve unexplored branches off this unit (spilled
+			// units stay parked — reloading them costs I/O; splitting is
+			// free). With one worker nobody is ever hungry and the serial
+			// DFS order is untouched.
 			if e.hungry > 0 && len(e.queue) == 0 {
 				if units := tr.Split(); len(units) > 0 {
 					e.queue = append(e.queue, units...)
 					e.cond.Broadcast()
 				}
 			}
-			if !e.cpArmed && e.dueLocked() {
+			// Chaos: a spurious barrier arms a checkpoint round off
+			// cadence, exercising the stop-the-world machinery under load.
+			if !e.cpArmed && e.cfg.CheckpointPath != "" &&
+				(e.dueLocked() || e.cfg.Chaos.SpuriousBarrier()) {
 				e.armRoundLocked()
 			}
 		}
@@ -515,6 +689,97 @@ func (e *engine) releaseLocked(w *worker) {
 	e.cond.Broadcast()
 }
 
+// governLocked is the resource governor's decision step. While the heap
+// stays over MemBudgetBytes it escalates one stage per invocation —
+// gentler measures first, each given a governor period to take effect:
+//
+//	stage 1: release pooled per-worker arenas (poolEpoch bump) and GC
+//	stage 2: spill cold frontier units to SpillDir and GC
+//	stage 3: stop the run; the normal stop path writes a valid
+//	         checkpoint, so progress survives and a later run (with a
+//	         bigger budget, or more machines) resumes it
+//
+// Dropping back under budget resets the escalation. Independent of the
+// budget, a frontier that outgrows a high-water mark is trimmed to disk
+// so the queue itself cannot become the memory problem.
+func (e *engine) governLocked() {
+	if e.cfg.MemBudgetBytes > 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > e.cfg.MemBudgetBytes {
+			e.degraded = true
+			e.govStage++
+			switch {
+			case e.govStage == 1:
+				e.poolEpoch++
+				runtime.GC()
+			case e.govStage == 2 && e.canSpillLocked():
+				e.spillLocked(e.cfg.Workers)
+				runtime.GC()
+			default:
+				e.stopLocked()
+			}
+			return
+		}
+		e.govStage = 0
+	}
+	if e.canSpillLocked() && len(e.queue) > 8*e.cfg.Workers+32 {
+		e.spillLocked(2 * e.cfg.Workers)
+	}
+}
+
+func (e *engine) canSpillLocked() bool {
+	return e.cfg.SpillDir != "" && !e.spillFail
+}
+
+// spillLocked parks frontier units on disk until at most keep remain in
+// memory, taking from the queue's tail (the most recently donated, i.e.
+// coldest, work). I/O happens under mu: spilling is a degradation path,
+// and serializing it keeps the frontier bookkeeping trivially consistent.
+func (e *engine) spillLocked(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	for len(e.queue) > keep {
+		tr := e.queue[len(e.queue)-1]
+		if !e.spillOneLocked(tr) {
+			return
+		}
+		e.queue[len(e.queue)-1] = nil
+		e.queue = e.queue[:len(e.queue)-1]
+	}
+}
+
+// spillOneLocked writes one unit's snapshot to a spill file. A failure
+// latches spillFail (further spilling is pointless if the directory is
+// unusable) and leaves the unit in memory — degraded, not broken.
+func (e *engine) spillOneLocked(tr *decision.Tree) bool {
+	if !e.canSpillLocked() {
+		return false
+	}
+	if e.spillSeq == 0 {
+		if err := os.MkdirAll(e.cfg.SpillDir, 0o755); err != nil {
+			e.spillFail = true
+			return false
+		}
+	}
+	e.spillSeq++
+	path := filepath.Join(e.cfg.SpillDir,
+		fmt.Sprintf("cxlmc-spill-%d-%d.bin", os.Getpid(), e.spillSeq))
+	if err := writeFileRetry(path, tr.Snapshot(), e.cfg.Chaos); err != nil {
+		e.spillFail = true
+		os.Remove(path)
+		return false
+	}
+	var created [numDecisionKinds]int
+	created[decision.KindReadFrom] = tr.Created(decision.KindReadFrom)
+	created[decision.KindFailure] = tr.Created(decision.KindFailure)
+	created[decision.KindPoison] = tr.Created(decision.KindPoison)
+	e.spilled = append(e.spilled, spillEntry{path: path, created: created})
+	e.spills++
+	return true
+}
+
 // dueLocked reports whether either checkpoint cadence is due.
 func (e *engine) dueLocked() bool {
 	if e.cfg.CheckpointPath == "" {
@@ -549,19 +814,21 @@ func (e *engine) depositLocked(w *worker, snap []byte) {
 }
 
 // finishRoundLocked writes the checkpoint assembled from the round's
-// deposits plus the queued units, then releases the barrier.
+// deposits plus the queued and spilled units, then releases the barrier.
+// A failed periodic write is tolerated — the previously installed
+// checkpoint is still intact thanks to the atomic rename, so the run
+// keeps exploring and just counts the miss; only the final write (in
+// run) is load-bearing.
 func (e *engine) finishRoundLocked() {
-	units := make([][]byte, 0, len(e.cpUnits)+len(e.queue))
-	units = append(units, e.cpUnits...)
-	for _, tr := range e.queue {
-		units = append(units, tr.Snapshot())
+	units, err := e.frontierSnapshotsLocked(e.cpUnits)
+	if err == nil {
+		err = writeCheckpointFile(e.cfg.CheckpointPath, e.envelope(units, false), e.cfg.Chaos)
 	}
-	err := writeCheckpointFile(e.cfg.CheckpointPath, e.envelope(units, false))
 	e.cpArmed = false
 	e.cpUnits = e.cpUnits[:0]
 	e.lastCPExecs, e.lastCPTime = e.execs, time.Now()
 	if err != nil {
-		e.failLocked(err)
+		e.cpErrs++
 	}
 	e.cond.Broadcast()
 }

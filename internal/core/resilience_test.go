@@ -270,11 +270,18 @@ func TestCheckpointIdentityMismatches(t *testing.T) {
 		t.Fatalf("program mismatch: err = %v", err)
 	}
 
+	// A corrupt checkpoint is NOT an identity mismatch: it is quarantined
+	// (renamed aside) and the run starts fresh — covered in depth by
+	// TestCorruptCheckpointQuarantine.
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(Config{CheckpointPath: path}, resilientClean); err == nil || !strings.Contains(err.Error(), "corrupt") {
-		t.Fatalf("corrupt checkpoint: err = %v", err)
+	res, err := Run(Config{CheckpointPath: path}, resilientClean)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint should quarantine, got err = %v", err)
+	}
+	if !res.Quarantined || res.Resumed {
+		t.Fatalf("corrupt checkpoint: quarantined=%v resumed=%v", res.Quarantined, res.Resumed)
 	}
 }
 

@@ -1,0 +1,113 @@
+package decision
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The decoders are fed from checkpoint files and repro tokens, which can
+// arrive truncated or bit-flipped (a torn download, on-media corruption,
+// a chaos-injected bit flip). Every such input must yield a structured
+// error or a valid tree — never a panic, and never an allocation sized
+// by attacker-controlled length prefixes.
+
+// corpusSnapshot builds a realistic snapshot: a tree with mixed-arity
+// nodes, a fixed prefix, and a few executions behind it.
+func corpusSnapshot(t *testing.T) []byte {
+	t.Helper()
+	tr := NewSubtree([]Step{{Kind: KindFailure, N: 2, Chosen: 1}})
+	for i := 0; i < 3; i++ {
+		tr.Begin()
+		tr.Choose(KindFailure, 2)
+		tr.Choose(KindReadFrom, 4)
+		tr.Choose(KindPoison, 2)
+		if !tr.Advance() {
+			break
+		}
+	}
+	return tr.Snapshot()
+}
+
+// decodeDoesNotPanic runs fn and converts a panic into a test failure
+// with the corrupted input attached.
+func decodeDoesNotPanic(t *testing.T, desc string, fn func() error) {
+	t.Helper()
+	defer func() {
+		if v := recover(); v != nil {
+			t.Fatalf("%s: decoder panicked: %v", desc, v)
+		}
+	}()
+	fn() // error or nil are both acceptable; panics are not
+}
+
+// TestSnapshotBitFlipSweep flips every bit of a valid snapshot, one at a
+// time, and requires Restore to survive each mutant.
+func TestSnapshotBitFlipSweep(t *testing.T) {
+	orig := corpusSnapshot(t)
+	for i := range orig {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), orig...)
+			mut[i] ^= 1 << uint(b)
+			desc := fmt.Sprintf("snapshot bit %d of byte %d flipped", b, i)
+			decodeDoesNotPanic(t, desc, func() error {
+				return NewTree().Restore(mut)
+			})
+		}
+	}
+}
+
+// TestSnapshotTruncationSweep feeds every prefix of a valid snapshot to
+// Restore; all but the full input must be rejected without panicking.
+func TestSnapshotTruncationSweep(t *testing.T) {
+	orig := corpusSnapshot(t)
+	for n := 0; n < len(orig); n++ {
+		desc := fmt.Sprintf("snapshot truncated to %d of %d bytes", n, len(orig))
+		tr := NewTree()
+		decodeDoesNotPanic(t, desc, func() error { return tr.Restore(orig[:n]) })
+		if err := NewTree().Restore(orig[:n]); err == nil {
+			t.Fatalf("%s: accepted", desc)
+		}
+	}
+	if err := NewTree().Restore(orig); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+}
+
+// TestPathBitFlipAndTruncationSweep runs the same sweeps over the
+// repro-token path encoding.
+func TestPathBitFlipAndTruncationSweep(t *testing.T) {
+	orig := EncodePath([]Step{
+		{Kind: KindReadFrom, N: 5, Chosen: 3},
+		{Kind: KindFailure, N: 2, Chosen: 1},
+		{Kind: KindPoison, N: 2, Chosen: 0},
+	})
+	for i := range orig {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), orig...)
+			mut[i] ^= 1 << uint(b)
+			desc := fmt.Sprintf("path bit %d of byte %d flipped", b, i)
+			decodeDoesNotPanic(t, desc, func() error {
+				_, err := DecodePath(mut)
+				return err
+			})
+		}
+	}
+	for n := 0; n < len(orig); n++ {
+		if _, err := DecodePath(orig[:n]); err == nil {
+			t.Fatalf("path truncated to %d bytes: accepted", n)
+		}
+	}
+}
+
+// TestCorruptLengthPrefixStaysBounded plants an absurd node count behind
+// a valid header and requires a decode error — the regression the
+// bounds check exists for (a multi-GB preallocation would OOM here
+// long before any per-node validation ran).
+func TestCorruptLengthPrefixStaysBounded(t *testing.T) {
+	// Path envelope: magic, version, then the node-count varint.
+	data := []byte{pathMagic, pathVersion,
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // ~2^48 nodes, 0 payload
+	if _, err := DecodePath(data); err == nil {
+		t.Fatal("absurd node count accepted")
+	}
+}

@@ -56,8 +56,13 @@ func parseNodes(buf []byte) ([]node, []byte, error) {
 		return nil, nil, fmt.Errorf("decision: truncated node count")
 	}
 	buf = buf[k:]
-	if count > 1<<30 {
-		return nil, nil, fmt.Errorf("decision: implausible node count %d", count)
+	// A node occupies at least 3 bytes (kind byte + two 1-byte varints),
+	// so a count the remaining buffer cannot possibly hold is a truncated
+	// or bit-flipped encoding. Rejecting it here also bounds the
+	// preallocation below: a corrupt length prefix must yield a decode
+	// error, not a multi-gigabyte allocation.
+	if count > uint64(len(buf))/3 {
+		return nil, nil, fmt.Errorf("decision: node count %d exceeds what %d bytes can encode", count, len(buf))
 	}
 	nodes := make([]node, 0, count)
 	for i := uint64(0); i < count; i++ {

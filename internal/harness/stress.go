@@ -1,0 +1,528 @@
+package harness
+
+// Self-fuzzing stress harness: a seeded random-program generator over
+// the public cxlmc.Thread API plus a swarm runner that checks the
+// checker's own invariants on every generated program —
+//
+//   - Run never panics and never returns an error on a well-formed
+//     program (bugs are reports, not failures);
+//   - serial and parallel exploration agree on executions, decision
+//     points and the distinct-bug set (worker-count invariance);
+//   - every repro token replays and reproduces its bug;
+//   - interrupting a run and resuming it under fault injection converges
+//     to exactly the uninterrupted exploration.
+//
+// The generator is exposed to native `go test -fuzz` via
+// FuzzRandomProgram in stress_test.go and to the CLI via `cxlmc -stress`.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	cxlmc "repro"
+	"repro/internal/chaos"
+)
+
+// GenConfig bounds the random-program generator. Zero fields take the
+// defaults below; the bounds are deliberately small — the value of the
+// swarm is many tiny state spaces explored to completion, not a few
+// huge ones truncated by execution caps.
+type GenConfig struct {
+	MaxMachines          int // worker machines, excluding the observer
+	MaxThreadsPerMachine int
+	MaxOpsPerThread      int
+	MaxCells             int // 8-byte shared cells
+	FlushBudget          int // random flushes per program (crash branches multiply per flush)
+}
+
+func (gc GenConfig) withDefaults() GenConfig {
+	if gc.MaxMachines <= 0 {
+		gc.MaxMachines = 3
+	}
+	if gc.MaxThreadsPerMachine <= 0 {
+		gc.MaxThreadsPerMachine = 2
+	}
+	if gc.MaxOpsPerThread <= 0 {
+		gc.MaxOpsPerThread = 6
+	}
+	if gc.MaxCells <= 0 {
+		gc.MaxCells = 4
+	}
+	if gc.FlushBudget <= 0 {
+		gc.FlushBudget = 3
+	}
+	return gc
+}
+
+// Op codes for generated thread bodies.
+const (
+	opStore = iota
+	opLoad
+	opFlush
+	opFlushOpt
+	opSFence
+	opMFence
+	opCAS
+	opFetchAdd
+	opYield
+	opCritical // lock; inner ops; unlock
+)
+
+type genOp struct {
+	code  int
+	cell  int
+	size  int // 1, 2, 4 or 8 for loads/stores
+	val   uint64
+	inner []genOp // opCritical body
+}
+
+// genPlan is a fully precomputed program: Generate rolls all the dice up
+// front, so the setup closure rebuilds the identical program on every
+// one of the checker's executions (the determinism Run requires).
+type genPlan struct {
+	machines [][][]genOp // [machine][thread]ops
+	cells    int
+	useMutex bool
+	// The canonical writer/reader pattern on cells 0 (data) and 1 (flag),
+	// excluded from random ops: with patternFlush the protocol is correct;
+	// without it the generator has planted a genuine crash-consistency
+	// bug, giving the swarm steady bug-report and token-replay coverage.
+	pattern      bool
+	patternFlush bool
+}
+
+// Generate builds a deterministic random program for seed. The returned
+// setup function is safe to pass to cxlmc.Run any number of times.
+func Generate(seed int64, gc GenConfig) func(*cxlmc.Program) {
+	gc = gc.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	plan := &genPlan{
+		pattern: rng.Intn(2) == 0,
+	}
+	plan.patternFlush = rng.Intn(2) == 0
+	base := 0
+	if plan.pattern {
+		base = 2 // cells 0,1 belong to the pattern
+	}
+	plan.cells = base + 1 + rng.Intn(gc.MaxCells-base)
+
+	flushes := gc.FlushBudget
+	nm := 1 + rng.Intn(gc.MaxMachines)
+	for m := 0; m < nm; m++ {
+		nt := 1 + rng.Intn(gc.MaxThreadsPerMachine)
+		threads := make([][]genOp, nt)
+		for t := 0; t < nt; t++ {
+			nops := rng.Intn(gc.MaxOpsPerThread + 1)
+			ops := make([]genOp, 0, nops)
+			for len(ops) < nops {
+				ops = append(ops, genTopOp(rng, plan, base, &flushes))
+			}
+			threads[t] = ops
+		}
+		plan.machines = append(plan.machines, threads)
+	}
+	return plan.setup
+}
+
+// genTopOp rolls one thread-body op, honoring the flush budget and
+// forbidding nested critical sections.
+func genTopOp(rng *rand.Rand, plan *genPlan, base int, flushes *int) genOp {
+	for {
+		code := rng.Intn(10)
+		if (code == opFlush || code == opFlushOpt) && *flushes == 0 {
+			continue
+		}
+		op := genOp{code: code}
+		switch code {
+		case opStore, opLoad:
+			op.cell = base + rng.Intn(plan.cells-base)
+			op.size = 1 << uint(rng.Intn(4))
+			op.val = uint64(rng.Intn(256))
+		case opFlush, opFlushOpt:
+			*flushes--
+			op.cell = base + rng.Intn(plan.cells-base)
+		case opCAS, opFetchAdd:
+			op.cell = base + rng.Intn(plan.cells-base)
+			op.val = uint64(rng.Intn(256))
+		case opCritical:
+			plan.useMutex = true
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				op.inner = append(op.inner, genInnerOp(rng, plan, base, flushes))
+			}
+		}
+		return op
+	}
+}
+
+// genInnerOp rolls a critical-section body op (no nesting, no yields —
+// short sections keep lock-induced blocking bounded).
+func genInnerOp(rng *rand.Rand, plan *genPlan, base int, flushes *int) genOp {
+	for {
+		code := rng.Intn(8) // excludes opYield (8) and opCritical (9)
+		if (code == opFlush || code == opFlushOpt) && *flushes == 0 {
+			continue
+		}
+		op := genOp{code: code}
+		switch code {
+		case opStore, opLoad:
+			op.cell = base + rng.Intn(plan.cells-base)
+			op.size = 1 << uint(rng.Intn(4))
+			op.val = uint64(rng.Intn(256))
+		case opFlush, opFlushOpt:
+			*flushes--
+			op.cell = base + rng.Intn(plan.cells-base)
+		case opCAS, opFetchAdd:
+			op.cell = base + rng.Intn(plan.cells-base)
+			op.val = uint64(rng.Intn(256))
+		}
+		return op
+	}
+}
+
+// setup rebuilds the planned program; called once per explored
+// execution, it must be (and is) deterministic.
+func (plan *genPlan) setup(p *cxlmc.Program) {
+	cells := make([]cxlmc.Addr, plan.cells)
+	for i := range cells {
+		cells[i] = p.AllocAligned(8, 64)
+	}
+	var mu *cxlmc.Mutex
+	if plan.useMutex {
+		mu = p.NewMutex("stress")
+	}
+
+	run := func(th *cxlmc.Thread, ops []genOp) {
+		for _, op := range ops {
+			execOp(th, mu, cells, op)
+		}
+	}
+
+	workers := make([]*cxlmc.Machine, len(plan.machines))
+	for m, threads := range plan.machines {
+		mach := p.NewMachine(fmt.Sprintf("m%d", m))
+		workers[m] = mach
+		for t, ops := range threads {
+			ops := ops
+			isPatternWriter := plan.pattern && m == 0 && t == 0
+			mach.Thread(fmt.Sprintf("t%d", t), func(th *cxlmc.Thread) {
+				if isPatternWriter {
+					th.Store64(cells[0], 42)
+					if plan.patternFlush {
+						th.CLFlush(cells[0])
+						th.SFence()
+					}
+					th.Store64(cells[1], 1)
+					th.CLFlush(cells[1])
+					th.SFence()
+				}
+				run(th, ops)
+			})
+		}
+	}
+
+	obs := p.NewMachine("observer")
+	obs.Thread("check", func(th *cxlmc.Thread) {
+		for _, w := range workers {
+			th.Join(w)
+		}
+		if plan.pattern {
+			if th.Load64(cells[1]) == 1 {
+				th.Assert(th.Load64(cells[0]) == 42, "pattern: flag set but data lost")
+			}
+		}
+		for _, c := range cells {
+			th.Load64(c)
+		}
+	})
+}
+
+func execOp(th *cxlmc.Thread, mu *cxlmc.Mutex, cells []cxlmc.Addr, op genOp) {
+	a := cells[op.cell]
+	switch op.code {
+	case opStore:
+		switch op.size {
+		case 1:
+			th.Store8(a, uint8(op.val))
+		case 2:
+			th.Store16(a, uint16(op.val))
+		case 4:
+			th.Store32(a, uint32(op.val))
+		default:
+			th.Store64(a, op.val)
+		}
+	case opLoad:
+		switch op.size {
+		case 1:
+			th.Load8(a)
+		case 2:
+			th.Load16(a)
+		case 4:
+			th.Load32(a)
+		default:
+			th.Load64(a)
+		}
+	case opFlush:
+		th.CLFlush(a)
+	case opFlushOpt:
+		th.CLFlushOpt(a)
+		th.SFence()
+	case opSFence:
+		th.SFence()
+	case opMFence:
+		th.MFence()
+	case opCAS:
+		th.CAS64(a, 0, op.val)
+	case opFetchAdd:
+		th.FetchAdd64(a, op.val)
+	case opYield:
+		th.Yield()
+	case opCritical:
+		mu.Lock(th)
+		for _, in := range op.inner {
+			execOp(th, mu, cells, in)
+		}
+		mu.Unlock(th)
+	}
+}
+
+// StressOptions configures one stress probe.
+type StressOptions struct {
+	Gen GenConfig
+	// MaxExecutions caps each exploration; defaults to 30000. Programs
+	// that hit the cap still check the no-panic and replay invariants,
+	// but skip the count-parity ones (an incomplete frontier's counters
+	// are order-dependent).
+	MaxExecutions int
+	// Chaos adds the interrupt-and-resume-under-fault-injection leg.
+	Chaos bool
+	// ChaosDir is where the chaos leg keeps its checkpoint; defaults to a
+	// fresh os.MkdirTemp directory (removed afterwards).
+	ChaosDir string
+}
+
+// StressResult is one seed's outcome.
+type StressResult struct {
+	Seed       int64
+	Executions int
+	Bugs       int
+	Complete   bool
+	// Violations lists checker-invariant breaches — each one is a bug in
+	// cxlmc itself, not in the generated program. Empty means healthy.
+	Violations []string
+}
+
+// StressOne generates the program for seed and checks every harness
+// invariant against it. Panics escaping the checker are converted into
+// violations, so a swarm survives to report them.
+func StressOne(seed int64, opts StressOptions) (sr StressResult) {
+	sr.Seed = seed
+	defer func() {
+		if v := recover(); v != nil {
+			sr.Violations = append(sr.Violations, fmt.Sprintf("panic escaped the checker: %v", v))
+		}
+	}()
+	if opts.MaxExecutions <= 0 {
+		opts.MaxExecutions = 30000
+	}
+	prog := Generate(seed, opts.Gen)
+	violatef := func(format string, args ...any) {
+		sr.Violations = append(sr.Violations, fmt.Sprintf(format, args...))
+	}
+
+	serialCfg := cxlmc.Config{
+		Workers:          1,
+		ContinueAfterBug: true,
+		MaxExecutions:    opts.MaxExecutions,
+		MaxEventsPerExec: 1 << 16,
+	}
+	serial, err := cxlmc.Run(serialCfg, prog)
+	if err != nil {
+		violatef("serial run failed: %v", err)
+		return sr
+	}
+	sr.Executions = serial.Executions
+	sr.Bugs = len(serial.Bugs)
+	sr.Complete = serial.Complete
+
+	parallelCfg := serialCfg
+	parallelCfg.Workers = 4
+	parallel, err := cxlmc.Run(parallelCfg, prog)
+	if err != nil {
+		violatef("parallel run failed: %v", err)
+		return sr
+	}
+	if serial.Complete != parallel.Complete {
+		violatef("completion disagrees: serial=%v parallel=%v", serial.Complete, parallel.Complete)
+	}
+	if serial.Executions != parallel.Executions {
+		violatef("executions disagree: serial=%d parallel=%d", serial.Executions, parallel.Executions)
+	}
+	if serial.Complete && parallel.Complete {
+		if serial.FailurePoints != parallel.FailurePoints ||
+			serial.ReadFromPoints != parallel.ReadFromPoints ||
+			serial.PoisonPoints != parallel.PoisonPoints {
+			violatef("decision points disagree: serial=%d/%d/%d parallel=%d/%d/%d",
+				serial.FailurePoints, serial.ReadFromPoints, serial.PoisonPoints,
+				parallel.FailurePoints, parallel.ReadFromPoints, parallel.PoisonPoints)
+		}
+		if !sameBugSet(serial.Bugs, parallel.Bugs) {
+			violatef("bug sets disagree: serial=%v parallel=%v",
+				bugKeys(serial.Bugs), bugKeys(parallel.Bugs))
+		}
+	}
+
+	for _, b := range serial.Bugs {
+		if b.ReproToken == "" {
+			continue // wedge reports carry no token by design
+		}
+		rep, err := cxlmc.Replay(b.ReproToken, serialCfg, prog)
+		if err != nil {
+			violatef("token for %q does not replay: %v", b.Message, err)
+			continue
+		}
+		if !replayHas(rep, b) {
+			violatef("token for %q replayed to %v", b.Message, bugKeys(rep.Bugs))
+		}
+	}
+
+	if opts.Chaos && serial.Complete {
+		sr.Violations = append(sr.Violations, stressChaosLeg(seed, opts, prog, serialCfg, serial)...)
+	}
+	return sr
+}
+
+// stressChaosLeg interrupts the exploration mid-way, then resumes it
+// repeatedly under I/O fault injection until it completes. Checkpoint
+// counters are checkpoint-relative, so legs that lose progress to a
+// failed write re-explore without double-counting: the converged totals
+// must equal the uninterrupted serial run's.
+func stressChaosLeg(seed int64, opts StressOptions, prog func(*cxlmc.Program), base cxlmc.Config, want *cxlmc.Result) []string {
+	var v []string
+	dir := opts.ChaosDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "cxlmc-stress")
+		if err != nil {
+			return []string{fmt.Sprintf("chaos leg: %v", err)}
+		}
+		defer os.RemoveAll(dir)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("stress-%d.ck", seed))
+	defer os.Remove(path)
+	defer os.Remove(path + ".corrupt")
+
+	cut := want.Executions / 2
+	if cut < 1 {
+		return nil
+	}
+	leg := base
+	leg.CheckpointPath = path
+	leg.CheckpointEvery = 4
+	leg.MaxExecutions = cut
+	if _, err := cxlmc.Run(leg, prog); err != nil {
+		return []string{fmt.Sprintf("chaos leg 1 failed: %v", err)}
+	}
+
+	// One injector across all resume legs: the fault budget persists, so
+	// the storm provably ends and the loop terminates.
+	inj := cxlmc.NewChaos(cxlmc.ChaosConfig{
+		Seed:          seed,
+		WriteErrPct:   40,
+		ReadErrPct:    25,
+		SyncErrPct:    25,
+		RenameErrPct:  25,
+		ShortWritePct: 50,
+		MaxFaults:     40,
+	})
+	resume := base
+	resume.CheckpointPath = path
+	resume.CheckpointEvery = 4
+	resume.MaxExecutions = opts.MaxExecutions
+	resume.Chaos = inj
+	for attempt := 0; attempt < 25; attempt++ {
+		res, err := cxlmc.Run(resume, prog)
+		if err != nil {
+			if !chaos.IsInjected(err) {
+				return append(v, fmt.Sprintf("chaos resume %d: non-injected failure: %v", attempt, err))
+			}
+			continue // the last installed checkpoint is still valid
+		}
+		if !res.Complete {
+			continue
+		}
+		if res.Executions != want.Executions ||
+			res.FailurePoints != want.FailurePoints ||
+			res.ReadFromPoints != want.ReadFromPoints ||
+			!sameBugSet(res.Bugs, want.Bugs) {
+			v = append(v, fmt.Sprintf(
+				"chaos-resumed exploration diverged: got %d execs %d/%d points bugs=%v, want %d execs %d/%d points bugs=%v",
+				res.Executions, res.FailurePoints, res.ReadFromPoints, bugKeys(res.Bugs),
+				want.Executions, want.FailurePoints, want.ReadFromPoints, bugKeys(want.Bugs)))
+		}
+		return v
+	}
+	return append(v, "chaos-resumed exploration never completed within the fault budget")
+}
+
+func bugKeys(bugs []cxlmc.Bug) []string {
+	keys := make([]string, len(bugs))
+	for i, b := range bugs {
+		keys[i] = b.Kind.String() + ":" + b.Message
+	}
+	return keys
+}
+
+func sameBugSet(a, b []cxlmc.Bug) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]int, len(a))
+	for _, k := range bugKeys(a) {
+		set[k]++
+	}
+	for _, k := range bugKeys(b) {
+		set[k]--
+		if set[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func replayHas(res *cxlmc.Result, want cxlmc.Bug) bool {
+	for _, b := range res.Bugs {
+		if b.Kind == want.Kind && b.Message == want.Message {
+			return true
+		}
+	}
+	return false
+}
+
+// Swarm stress-tests n consecutive seeds starting at start, writing one
+// progress line per seed to w (nil silences it), and returns every
+// result with at least one violation.
+func Swarm(w io.Writer, start int64, n int, opts StressOptions) []StressResult {
+	var bad []StressResult
+	for i := 0; i < n; i++ {
+		sr := StressOne(start+int64(i), opts)
+		if w != nil {
+			status := "ok"
+			if len(sr.Violations) > 0 {
+				status = "VIOLATION"
+			}
+			fmt.Fprintf(w, "stress seed=%d execs=%d bugs=%d complete=%v %s\n",
+				sr.Seed, sr.Executions, sr.Bugs, sr.Complete, status)
+			for _, violation := range sr.Violations {
+				fmt.Fprintf(w, "  %s\n", violation)
+			}
+		}
+		if len(sr.Violations) > 0 {
+			bad = append(bad, sr)
+		}
+	}
+	return bad
+}

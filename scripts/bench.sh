@@ -8,8 +8,9 @@
 #   scripts/bench.sh --short    CI smoke run (benchtime 1x, fast)
 #
 # The JSON is a list of {benchmark, ns_op, b_op, allocs_op, metrics{}}
-# rows parsed from `go test -bench` output; the raw output is kept next
-# to it as BENCH_<date>.txt.
+# rows parsed from `go test -bench` output, plus a final PeakRSS row
+# with the bench process's peak resident set (VmHWM); the raw output is
+# kept next to it as BENCH_<date>.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,11 +26,28 @@ date="$(date +%Y%m%d)"
 txt="BENCH_${date}.txt"
 json="BENCH_${date}.json"
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$txt"
+# Compile the test binary and run it directly: polling VmHWM on `go
+# test` itself would measure the toolchain, not the checker. VmHWM is
+# the kernel's own high-water mark, so one late sample per poll is
+# exact, not a race.
+bin="$(mktemp "${TMPDIR:-/tmp}/cxlmc-bench.XXXXXX")"
+trap 'rm -f "$bin"' EXIT
+go test -c -o "$bin" .
+
+"$bin" -test.run '^$' -test.bench "$pattern" -test.benchtime "$benchtime" -test.benchmem > "$txt" 2>&1 &
+pid=$!
+peak=0
+while kill -0 "$pid" 2>/dev/null; do
+    rss="$(awk '/^VmHWM:/{print $2}' "/proc/$pid/status" 2>/dev/null || true)"
+    [ -n "$rss" ] && peak="$rss"
+    sleep 0.1
+done
+wait "$pid" || { cat "$txt"; exit 1; }
+cat "$txt"
 
 # Convert the benchmark lines to JSON. Format of a line:
 #   BenchmarkName-8  N  1234 ns/op  56 B/op  7 allocs/op  8.0 execs ...
-awk '
+awk -v peak="$peak" '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -52,7 +70,14 @@ BEGIN { print "["; first = 1 }
     if (allocs != "") printf ",\"allocs_op\":%s", allocs
     printf ",\"metrics\":{%s}}", metrics
 }
-END { if (!first) print ""; print "]" }
+END {
+    if (peak > 0) {
+        if (!first) print ","
+        printf "  {\"benchmark\":\"PeakRSS\",\"metrics\":{\"peak_rss_kb\":%s}}", peak
+    }
+    print ""
+    print "]"
+}
 ' "$txt" > "$json"
 
-echo "wrote $txt and $json"
+echo "wrote $txt and $json (peak RSS ${peak} kB)"
