@@ -12,6 +12,7 @@ package cxlmc_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	cxlmc "repro"
@@ -266,4 +267,27 @@ func BenchmarkAblationPoison(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { exploreOnce(b, cxlmc.Config{}, prog) })
 	b.Run("on", func(b *testing.B) { exploreOnce(b, cxlmc.Config{Poison: true, ContinueAfterBug: true}, prog) })
+}
+
+// --- Observability overhead ----------------------------------------------
+
+// BenchmarkObsOverhead measures the instrumentation tax on a full CCEH
+// exploration: observability off (the baseline every other benchmark
+// runs at), a live metrics registry, and metrics plus the structured
+// event trace streaming to a discarded sink. EXPERIMENTS.md records the
+// off→metrics delta; the subsystem's budget is ≤5%. Run with -benchmem:
+// the "off" variant must show the same allocs/op as before the obs
+// subsystem existed — disabled instruments are nil pointers, not cheap
+// objects.
+func BenchmarkObsOverhead(b *testing.B) {
+	prog := recipe.Program(harness.Benchmarks[0], harness.Table5Config()) // CCEH
+	b.Run("off", func(b *testing.B) {
+		exploreOnce(b, cxlmc.Config{}, prog)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		exploreOnce(b, cxlmc.Config{Obs: cxlmc.NewMetricsRegistry()}, prog)
+	})
+	b.Run("metrics-trace", func(b *testing.B) {
+		exploreOnce(b, cxlmc.Config{Obs: cxlmc.NewMetricsRegistry(), EventTrace: io.Discard}, prog)
+	})
 }

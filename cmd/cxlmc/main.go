@@ -11,6 +11,8 @@
 //	      [-wedge-timeout d] [-replay token]
 //	      [-mem-budget bytes] [-spill-dir dir] [-max-events N]
 //	      [-chaos] [-chaos-seed N]
+//	      [-metrics-addr host:port] [-progress d] [-event-log file]
+//	      [-metrics-snapshot file]
 //	cxlmc -stress N [-seed 0] [-chaos]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
@@ -38,6 +40,15 @@
 // one execution may create, turning per-execution state-space blowup
 // into a structured resource-exhausted bug report.
 //
+// Observability: -metrics-addr serves /metrics (Prometheus text),
+// /statusz (JSON run status) and /debug/pprof for the duration of the
+// run; -progress prints a one-line status to stderr at the given
+// cadence; -event-log streams the structured exploration event trace
+// (execution boundaries, decisions, checkpoints, governor and chaos
+// activity) as JSON lines to a file; -metrics-snapshot writes the final
+// metric values as JSON when the run ends. SIGUSR1 dumps an on-demand
+// status report to stderr without stopping the run.
+//
 // -stress N runs the self-fuzzing harness over N seeded random
 // programs (starting at -seed), checking the checker's own invariants:
 // no panics, serial/parallel parity, every repro token replays. With
@@ -48,6 +59,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +69,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	cxlmc "repro"
@@ -100,6 +114,11 @@ func run() int {
 		chaosOn    = flag.Bool("chaos", false, "inject seeded faults into checkpoint I/O and worker scheduling (with -stress: add the resume-under-chaos leg)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 		stress     = flag.Int("stress", 0, "self-fuzz N seeded random programs (starting at -seed) instead of running a benchmark")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address for the duration of the run (\":0\" picks a port)")
+		progressEach = flag.Duration("progress", 0, "print a one-line progress report to stderr at this cadence (0 = off)")
+		eventLog     = flag.String("event-log", "", "stream the structured exploration event trace to this file as JSON lines")
+		metricsSnap  = flag.String("metrics-snapshot", "", "write the final metric values to this file as JSON when the run ends")
 	)
 	flag.Parse()
 
@@ -154,6 +173,38 @@ func run() int {
 			MaxFaults:     200,
 		})
 	}
+
+	var reg *cxlmc.MetricsRegistry
+	if *metricsAddr != "" || *metricsSnap != "" {
+		reg = cxlmc.NewMetricsRegistry()
+		cfg.Obs = reg
+	}
+	cfg.MetricsAddr = *metricsAddr
+	if *metricsAddr != "" {
+		cfg.OnStatusServer = func(addr string) {
+			fmt.Fprintf(os.Stderr, "cxlmc: status server on http://%s/ (/metrics /statusz /debug/pprof)\n", addr)
+		}
+	}
+	if *metricsSnap != "" {
+		defer func() {
+			data, _ := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if err := os.WriteFile(*metricsSnap, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlmc: -metrics-snapshot: %v\n", err)
+			}
+		}()
+	}
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: -event-log: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		evw := bufio.NewWriter(f)
+		defer evw.Flush()
+		cfg.EventTrace = evw
+	}
+	cfg.ProgressEvery = *progressEach
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -238,6 +289,37 @@ func run() int {
 		signal.Stop(sig)
 	}()
 	cfg.Stop = stop
+
+	// SIGUSR1 asks for an on-demand status dump: the engine snapshots its
+	// progress at the next monitor wakeup and the run continues untouched.
+	var usr1Pending atomic.Bool
+	statusReq := make(chan struct{}, 1)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			usr1Pending.Store(true)
+			select {
+			case statusReq <- struct{}{}:
+			default:
+			}
+		}
+	}()
+	cfg.StatusRequests = statusReq
+	cfg.OnProgress = func(p cxlmc.Progress) {
+		if usr1Pending.Swap(false) {
+			fmt.Fprintf(os.Stderr, "cxlmc: status  %s\n", p)
+			for _, w := range p.Workers {
+				fmt.Fprintf(os.Stderr, "cxlmc:   worker %d %-4s execs=%d depth=%d units=%d\n",
+					w.ID, w.State, w.Executions, w.Depth, w.Units)
+			}
+			return
+		}
+		if *progressEach > 0 {
+			fmt.Fprintf(os.Stderr, "cxlmc: progress %s\n", p)
+		}
+	}
 
 	buggy := false
 	for s := *seed; s < *seed+int64(*seeds); s++ {

@@ -61,6 +61,7 @@ package cxlmc
 import (
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config controls a model-checking run. The zero value uses sensible
@@ -143,6 +144,28 @@ type ChaosStats = chaos.Stats
 func NewChaos(cfg ChaosConfig) *ChaosInjector {
 	return chaos.New(cfg)
 }
+
+// MetricsRegistry is the observability subsystem's metrics registry.
+// Pass one via Config.Obs to have a run instrument itself (execution,
+// step and bug counters, decision-point counters, frontier and governor
+// gauges, step/depth histograms); read it back with Snapshot or serve
+// it with Config.MetricsAddr. A nil registry disables instrumentation
+// at near-zero cost. One registry may be shared across runs; counters
+// then accumulate.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry {
+	return obs.NewRegistry()
+}
+
+// Progress is a point-in-time snapshot of a running exploration,
+// delivered via Config.OnProgress and served at the status server's
+// /statusz endpoint.
+type Progress = core.Progress
+
+// WorkerStatus is one worker's slice of a Progress snapshot.
+type WorkerStatus = core.WorkerStatus
 
 // InternalError is a violated checker invariant (a bug in cxlmc itself),
 // returned from Run with the seed and decision path needed to reproduce

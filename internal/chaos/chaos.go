@@ -71,6 +71,14 @@ type Config struct {
 	// guarantees chaotic runs terminate: the injector goes quiet once it
 	// is spent.
 	MaxFaults int
+
+	// OnFault, when non-nil, is invoked after every injected fault with a
+	// short class label ("read", "write", "short-write", "sync", "rename",
+	// "corrupt", "stall", "wake", "barrier"). It is called with the
+	// injector's lock held: the callback must be fast and must not call
+	// back into the injector. internal/core wires the observability
+	// subsystem here (see also SetOnFault).
+	OnFault func(class string)
 }
 
 // Stats counts injected faults by class.
@@ -154,6 +162,26 @@ func (in *Injector) ioErr(op string) error {
 	return &injectedError{op: op, permanent: in.cfg.Permanent}
 }
 
+// note reports one delivered fault to the OnFault observer, if any.
+// Called with in.mu held.
+func (in *Injector) note(class string) {
+	if in.cfg.OnFault != nil {
+		in.cfg.OnFault(class)
+	}
+}
+
+// SetOnFault installs (or, with nil, removes) the fault observer on an
+// existing injector — the engine uses this to observe a caller-provided
+// injector without rebuilding it. Safe on a nil receiver.
+func (in *Injector) SetOnFault(f func(class string)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.cfg.OnFault = f
+	in.mu.Unlock()
+}
+
 // ReadFault returns an error to inject before a file read, or nil.
 func (in *Injector) ReadFault() error {
 	if in == nil {
@@ -165,6 +193,7 @@ func (in *Injector) ReadFault() error {
 		return nil
 	}
 	in.stats.Reads++
+	in.note("read")
 	return in.ioErr("read")
 }
 
@@ -184,8 +213,10 @@ func (in *Injector) WriteFault(size int) (n int, err error) {
 	in.stats.Writes++
 	if size > 0 && in.rng.Intn(100) < in.cfg.ShortWritePct {
 		in.stats.ShortWrites++
+		in.note("short-write")
 		return in.rng.Intn(size), in.ioErr("write")
 	}
+	in.note("write")
 	return -1, in.ioErr("write")
 }
 
@@ -200,6 +231,7 @@ func (in *Injector) SyncFault() error {
 		return nil
 	}
 	in.stats.Syncs++
+	in.note("sync")
 	return in.ioErr("sync")
 }
 
@@ -214,6 +246,7 @@ func (in *Injector) RenameFault() error {
 		return nil
 	}
 	in.stats.Renames++
+	in.note("rename")
 	return in.ioErr("rename")
 }
 
@@ -229,6 +262,7 @@ func (in *Injector) Corrupt(data []byte) []byte {
 		return data
 	}
 	in.stats.Corruptions++
+	in.note("corrupt")
 	i := in.rng.Intn(len(data))
 	data[i] ^= 1 << uint(in.rng.Intn(8))
 	return data
@@ -244,6 +278,7 @@ func (in *Injector) Stall() {
 	stall := in.hit(in.cfg.StallPct)
 	if stall {
 		in.stats.Stalls++
+		in.note("stall")
 	}
 	d := in.cfg.StallDur
 	in.mu.Unlock()
@@ -264,6 +299,7 @@ func (in *Injector) SpuriousWake() bool {
 		return false
 	}
 	in.stats.Wakes++
+	in.note("wake")
 	return true
 }
 
@@ -279,6 +315,7 @@ func (in *Injector) SpuriousBarrier() bool {
 		return false
 	}
 	in.stats.Barriers++
+	in.note("barrier")
 	return true
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/decision"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -34,6 +35,13 @@ type Checker struct {
 	// internalErr holds a converted checker-invariant panic; the run
 	// returns it instead of crashing the caller's process.
 	internalErr *InternalError
+	// Observability: om's instruments and tracer are nil-safe, so an
+	// uninstrumented checker (replay, digest scratch, obs off) leaves
+	// them zero and pays one nil check per execution boundary. workerID
+	// labels this checker's trace events (-1 would be the engine).
+	om       coreMetrics
+	tracer   *obs.Tracer
+	workerID int
 	// replaying marks a strict token replay, where a decision divergence
 	// means a stale token (program behaviour changed), not a checker bug;
 	// replayDiverged records it.
@@ -201,7 +209,18 @@ func (ck *Checker) resetExecution() {
 
 // runOneExecution executes the program once, driving threads and buffer
 // commits under the seeded schedule until nothing can make progress.
+// The observability calls bracketing the loop are per-execution, never
+// per-step, and are nil checks when observability is off.
 func (ck *Checker) runOneExecution() {
+	ck.tracer.Record(ck.workerID, obs.EvExecStart, int64(ck.stats.Executions), 0)
+	stepsBefore := ck.stats.Steps
+	ck.runExecutionLoop()
+	ck.om.execSteps.Observe(float64(ck.stats.Steps - stepsBefore))
+	ck.om.execDepth.Observe(float64(ck.tree.Depth()))
+	ck.tracer.Record(ck.workerID, obs.EvExecEnd, int64(ck.stats.Executions), ck.stats.Steps-stepsBefore)
+}
+
+func (ck *Checker) runExecutionLoop() {
 	ck.resetExecution()
 	defer ck.sch.Teardown()
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/decision"
+	"repro/internal/obs"
 )
 
 // This file implements crash-consistent checkpointing of an exploration:
@@ -53,7 +54,15 @@ type checkpointData struct {
 	Elapsed     time.Duration         `json:"elapsed_ns"`
 	Complete    bool                  `json:"complete"`
 	Interrupted bool                  `json:"interrupted"`
-	Bugs        []Bug                 `json:"bugs,omitempty"`
+	// Cumulative resilience counters, carried across resumptions so
+	// Stats reports the whole exploration's history, not just the last
+	// process's. Added after version 2 shipped; omitted fields decode as
+	// zeros, so older checkpoints stay readable without a version bump.
+	Degraded         bool  `json:"degraded,omitempty"`
+	Spills           int   `json:"spills,omitempty"`
+	CheckpointErrors int   `json:"checkpoint_errors,omitempty"`
+	Quarantined      bool  `json:"quarantined,omitempty"`
+	Bugs             []Bug `json:"bugs,omitempty"`
 }
 
 // numDecisionKinds is the number of decision.Kind values (read-from,
@@ -278,7 +287,7 @@ func quarantineCheckpoint(path string, inj *chaos.Injector) error {
 // interruptible-syscall kind — are absorbed by a bounded
 // retry-with-backoff; each attempt rebuilds the temp file from scratch,
 // so a torn earlier attempt cannot leak into the installed checkpoint.
-func writeCheckpointFile(path string, cp *checkpointData, inj *chaos.Injector) error {
+func writeCheckpointFile(path string, cp *checkpointData, inj *chaos.Injector, om coreMetrics, tracer *obs.Tracer) error {
 	raw, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("cxlmc: encoding checkpoint: %w", err)
@@ -287,9 +296,13 @@ func writeCheckpointFile(path string, cp *checkpointData, inj *chaos.Injector) e
 	for attempt := 1; attempt <= ioAttempts; attempt++ {
 		if attempt > 1 {
 			time.Sleep(ioBackoff(attempt - 1))
+			om.cpRetries.Inc()
+			tracer.Record(-1, obs.EvCheckpointRetry, int64(attempt), 0)
 		}
 		err := writeCheckpointOnce(path, raw, inj)
 		if err == nil {
+			om.cpWrites.Inc()
+			tracer.Record(-1, obs.EvCheckpointWrite, int64(len(raw)), int64(cp.Executions))
 			return nil
 		}
 		lastErr = err

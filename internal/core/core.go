@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // Addr is a byte address in the simulated CXL region (0 is the null
@@ -196,6 +197,62 @@ type Config struct {
 	// MaxTime is set — the same mechanism makes MaxTime effective
 	// mid-execution.
 	WedgeTimeout time.Duration
+
+	// Obs, when non-nil, is the metrics registry the run instruments
+	// itself into: execution/step/bug counters, decision-point counters by
+	// kind, frontier and governor gauges, checkpoint and spill counters,
+	// and step/depth histograms. A nil registry is the zero-cost
+	// "observability off" mode — every instrument call is a nil check.
+	// The registry is caller-owned, so several runs may share one and the
+	// caller can read or serve it after Run returns. Observability knobs
+	// never participate in the checkpoint configuration digest: a run
+	// resumes identically with metrics on or off.
+	Obs *obs.Registry
+
+	// MetricsAddr, when non-empty, starts a live status server on the
+	// address for the duration of the run, serving /metrics (Prometheus
+	// text format), /statusz (the engine's Progress snapshot as JSON) and
+	// /debug/pprof. The server binds before exploration starts, so a bad
+	// address fails the run up front. Use ":0" to bind an ephemeral port
+	// and OnStatusServer to learn it. Implies Obs: when MetricsAddr is set
+	// and Obs is nil, the run creates a private registry.
+	MetricsAddr string
+
+	// OnStatusServer, when non-nil, is called once with the status
+	// server's bound "host:port" address before exploration starts. Only
+	// meaningful with MetricsAddr set.
+	OnStatusServer func(addr string)
+
+	// EventTrace, when non-nil, enables the structured exploration event
+	// trace: execution boundaries, decision-point creation, backtracks,
+	// bugs, checkpoint/governor/spill activity, chaos fault injections and
+	// worker scheduling events are recorded into bounded per-worker ring
+	// buffers and drained to this writer as JSON lines. Unlike Trace it
+	// does not force Workers to 1 — events carry the worker index. The
+	// writer must be safe for use from the draining goroutine; a write
+	// error silences the sink without disturbing the run.
+	EventTrace io.Writer
+
+	// EventBufferSize is the per-worker event ring capacity in events; 0
+	// means the default of 4096.
+	EventBufferSize int
+
+	// ProgressEvery emits a Progress snapshot to OnProgress at this
+	// wall-clock cadence; 0 disables periodic progress. A final snapshot
+	// is always emitted when the run stops, so a caller that only wants
+	// end-of-run numbers can set OnProgress alone.
+	ProgressEvery time.Duration
+
+	// OnProgress, when non-nil, receives Progress snapshots: one per
+	// ProgressEvery tick, one per StatusRequests poke, and one when the
+	// run stops. Called from the engine's monitor goroutine; it must not
+	// block for long and must not call back into the run.
+	OnProgress func(Progress)
+
+	// StatusRequests, when non-nil, asks for an on-demand Progress
+	// snapshot each time a value arrives: the engine emits to OnProgress
+	// without stopping the run. cmd/cxlmc wires SIGUSR1 here.
+	StatusRequests <-chan struct{}
 }
 
 func (c *Config) fillDefaults() {

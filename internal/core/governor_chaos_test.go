@@ -145,8 +145,9 @@ func TestSpillRoundTrip(t *testing.T) {
 
 	// take() must reload spilled units one by one and hand them out.
 	got := 0
+	w := &worker{}
 	for {
-		tr := e.take()
+		tr := e.take(w)
 		if tr == nil {
 			break
 		}

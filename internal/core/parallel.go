@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/decision"
+	"repro/internal/obs"
 )
 
 // spillEntry is a frontier unit parked on disk by the resource governor:
@@ -128,11 +129,31 @@ type engine struct {
 	// run keeps exploring. Only a failed *final* write fails the run.
 	cpErrs      int
 	quarantined bool
+
+	// Observability plumbing (see observe.go). om's instruments are nil
+	// (valid no-ops) when neither Config.Obs nor Config.MetricsAddr is
+	// set; tracer is nil without Config.EventTrace. workers is the live
+	// per-worker status served by /statusz, mutated only under mu at
+	// execution boundaries. unitsDone and baseExecs feed the crude ETA:
+	// units fully explored this process, and the execution count
+	// inherited from a resumed checkpoint.
+	om        coreMetrics
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	server    *obs.Server
+	workers   []WorkerStatus
+	unitsDone int
+	baseExecs int
 }
 
 // worker is the per-goroutine exploration state.
 type worker struct {
+	id int
 	ck *Checker
+	// hook forwards decision-tree events to the observability subsystem;
+	// nil when observability is off. Boxed once here so attaching it to
+	// each claimed unit costs nothing.
+	hook decision.Hook
 	// lastRound is the last checkpoint round this worker deposited in.
 	lastRound int
 	// mergedSteps/mergedBugs track how much of the private checker's
@@ -155,15 +176,22 @@ func newEngine(cfg Config, program func(*Program), progDigest string) *engine {
 		cpRound:    0,
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.workers = make([]WorkerStatus, cfg.Workers)
+	for i := range e.workers {
+		e.workers[i] = WorkerStatus{ID: i, State: "wait"}
+	}
 	return e
 }
 
-// run drives the whole exploration and assembles the Result.
-func (e *engine) run() (*Result, error) {
-	e.start = time.Now()
-	if e.cfg.MaxTime > 0 {
-		e.deadline = e.start.Add(e.cfg.MaxTime)
-	}
+// seedFrontier loads any checkpoint and seeds the initial work queue.
+// It returns a non-nil Result when the checkpointed exploration had
+// already finished (nothing left to explore). It holds e.mu throughout:
+// once initObs has run, the monitor goroutine and the status server may
+// call progress() at any moment, so even startup-time engine mutations
+// need the lock.
+func (e *engine) seedFrontier() (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.cfg.CheckpointPath != "" {
 		cp, err := loadCheckpoint(e.cfg.CheckpointPath, e.cfg.Chaos)
 		if err == nil && cp != nil {
@@ -186,16 +214,38 @@ func (e *engine) run() (*Result, error) {
 				return nil, fmt.Errorf("%w (and quarantining it failed: %v)", err, qerr)
 			}
 			e.quarantined = true
+			e.om.cpQuarantines.Inc()
+			e.tracer.RecordS(-1, obs.EvCheckpointQuarantine, 0, e.cfg.CheckpointPath)
 		}
 	}
 	if !e.resumed {
 		e.queue = []*decision.Tree{decision.NewTree()}
 	}
 	e.lastCPExecs, e.lastCPTime = e.execs, e.start
+	return nil, nil
+}
+
+// run drives the whole exploration and assembles the Result.
+func (e *engine) run() (*Result, error) {
+	e.start = time.Now()
+	if e.cfg.MaxTime > 0 {
+		e.deadline = e.start.Add(e.cfg.MaxTime)
+	}
+	obsDown, err := e.initObs()
+	if err != nil {
+		return nil, err
+	}
+	defer obsDown()
+	if done, err := e.seedFrontier(); err != nil {
+		return nil, err
+	} else if done != nil {
+		return done, nil
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < e.cfg.Workers; i++ {
 		w := &worker{
+			id: i,
 			ck: &Checker{
 				cfg:        e.cfg,
 				program:    e.program,
@@ -203,14 +253,20 @@ func (e *engine) run() (*Result, error) {
 				cfgDigest:  e.cfgDigest,
 				progDigest: e.progDigest,
 				deadline:   e.deadline,
+				om:         e.om,
+				tracer:     e.tracer,
+				workerID:   i,
 			},
 			lastRound: -1,
+		}
+		if e.reg != nil || e.tracer != nil {
+			w.hook = &checkerHook{om: e.om, tracer: e.tracer, worker: i}
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				tr := e.take()
+				tr := e.take(w)
 				if tr == nil {
 					return
 				}
@@ -244,7 +300,7 @@ func (e *engine) run() (*Result, error) {
 	if e.cfg.CheckpointPath != "" {
 		cp, err := e.checkpointData(complete)
 		if err == nil {
-			err = writeCheckpointFile(e.cfg.CheckpointPath, cp, e.cfg.Chaos)
+			err = writeCheckpointFile(e.cfg.CheckpointPath, cp, e.cfg.Chaos, e.om, e.tracer)
 		}
 		if err != nil {
 			// The final write must succeed: without it the run's remaining
@@ -333,18 +389,22 @@ func (e *engine) checkpointData(complete bool) (*checkpointData, error) {
 
 func (e *engine) envelope(units [][]byte, complete bool) *checkpointData {
 	return &checkpointData{
-		Version:       checkpointVersion,
-		Seed:          e.cfg.Seed,
-		ConfigDigest:  e.cfgDigest,
-		ProgramDigest: e.progDigest,
-		Units:         units,
-		BaseCreated:   e.created,
-		Executions:    e.execs,
-		Steps:         e.steps,
-		Elapsed:       e.prior + time.Since(e.start),
-		Complete:      complete,
-		Interrupted:   e.interrupted,
-		Bugs:          e.bugs,
+		Version:          checkpointVersion,
+		Seed:             e.cfg.Seed,
+		ConfigDigest:     e.cfgDigest,
+		ProgramDigest:    e.progDigest,
+		Units:            units,
+		BaseCreated:      e.created,
+		Executions:       e.execs,
+		Steps:            e.steps,
+		Elapsed:          e.prior + time.Since(e.start),
+		Complete:         complete,
+		Interrupted:      e.interrupted,
+		Degraded:         e.degraded,
+		Spills:           e.spills,
+		CheckpointErrors: e.cpErrs,
+		Quarantined:      e.quarantined,
+		Bugs:             e.bugs,
 	}
 }
 
@@ -391,6 +451,15 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 	e.execs = cp.Executions
 	e.steps = cp.Steps
 	e.prior = cp.Elapsed
+	// Resilience counters are cumulative across the whole exploration,
+	// not per-process: a resumed run must carry forward how degraded the
+	// road here was, or Stats would under-report spills, checkpoint
+	// failures and quarantines that happened before the interruption.
+	// (Checkpoints written by older builds decode these as zeros.)
+	e.degraded = e.degraded || cp.Degraded
+	e.spills += cp.Spills
+	e.cpErrs += cp.CheckpointErrors
+	e.quarantined = e.quarantined || cp.Quarantined
 	for i, c := range cp.BaseCreated {
 		e.created[i] += c
 	}
@@ -399,19 +468,30 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 		e.seen[b.Kind.String()+":"+b.Message] = true
 	}
 	e.resumed = true
+	// Seed the process-lifetime metrics with the inherited totals so
+	// /statusz and /metrics agree with Stats; baseExecs keeps the
+	// exec-rate estimate honest about what THIS process has done.
+	e.baseExecs = cp.Executions
+	e.om.execs.Add(int64(cp.Executions))
+	e.om.steps.Add(cp.Steps)
+	e.om.bugs.Add(int64(len(cp.Bugs)))
+	e.om.spillsC.Add(int64(cp.Spills))
+	e.om.cpErrors.Add(int64(cp.CheckpointErrors))
 	return nil
 }
 
 // take blocks until a unit is available (returning it) or the run is
 // over (returning nil). Units are not handed out while a checkpoint
 // round is armed, so the round's active set stays fixed.
-func (e *engine) take() *decision.Tree {
+func (e *engine) take(w *worker) *decision.Tree {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.hungry++
 	defer func() { e.hungry-- }()
+	parked := false
 	for {
 		if e.stopFlag || e.failErr != nil {
+			e.workers[w.id].State = "done"
 			return nil
 		}
 		if len(e.queue) == 0 && len(e.spilled) > 0 && !e.cpArmed {
@@ -422,13 +502,25 @@ func (e *engine) take() *decision.Tree {
 			continue
 		}
 		if len(e.queue) == 0 && len(e.spilled) == 0 && e.active == 0 {
+			e.workers[w.id].State = "done"
 			return nil
 		}
 		if len(e.queue) > 0 && !e.cpArmed {
 			tr := e.queue[0]
 			e.queue = e.queue[1:]
 			e.active++
+			e.om.unitClaims.Inc()
+			e.tracer.Record(w.id, obs.EvSteal, int64(len(e.queue)), 0)
+			e.workers[w.id].State = "run"
+			e.workers[w.id].Units++
 			return tr
+		}
+		if !parked {
+			// First wait of this dry spell: record the park once, not per
+			// spurious wakeup.
+			parked = true
+			e.tracer.Record(w.id, obs.EvPark, int64(e.hungry), 0)
+			e.workers[w.id].State = "wait"
 		}
 		e.cond.Wait()
 	}
@@ -452,6 +544,8 @@ func (e *engine) unspillLocked() {
 	}
 	os.Remove(ent.path)
 	e.queue = append(e.queue, tr)
+	e.om.unspills.Inc()
+	e.tracer.Record(-1, obs.EvUnspill, int64(len(e.spilled)), 0)
 	e.cond.Broadcast()
 }
 
@@ -462,6 +556,10 @@ func (e *engine) unspillLocked() {
 func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 	ck := w.ck
 	ck.tree = tr
+	// (Re)attach this worker's event hook: hooks are never serialized, so
+	// a unit restored from a checkpoint or handed over by Split arrives
+	// bare.
+	tr.SetHook(w.hook)
 	released := false
 	defer func() {
 		v := recover()
@@ -632,6 +730,8 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 		}
 		e.execs++
 		ck.stats.Executions = e.execs
+		e.om.execs.Inc()
+		e.workers[w.id].Executions++
 		e.mu.Unlock()
 
 		tr.Begin()
@@ -643,16 +743,23 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 // step counts and newly reported bugs (deduplicated globally).
 func (e *engine) mergeLocked(w *worker) {
 	ck := w.ck
-	e.steps += ck.stats.Steps - w.mergedSteps
+	delta := ck.stats.Steps - w.mergedSteps
+	e.steps += delta
+	e.om.steps.Add(delta)
 	w.mergedSteps = ck.stats.Steps
 	for _, b := range ck.bugs[w.mergedBugs:] {
 		key := b.Kind.String() + ":" + b.Message
 		if !e.seen[key] {
 			e.seen[key] = true
 			e.bugs = append(e.bugs, b)
+			// Counted post-dedup, so the metric matches len(Result.Bugs).
+			e.om.bugs.Inc()
+			e.tracer.RecordS(w.id, obs.EvBugFound, int64(b.Execution), b.Message)
 		}
 	}
 	w.mergedBugs = len(ck.bugs)
+	e.workers[w.id].Depth = ck.tree.Depth()
+	e.syncGaugesLocked()
 }
 
 // finishUnitLocked retires an exhausted unit: its decision-point
@@ -661,6 +768,8 @@ func (e *engine) finishUnitLocked(w *worker, tr *decision.Tree) {
 	e.created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
 	e.created[decision.KindFailure] += tr.Created(decision.KindFailure)
 	e.created[decision.KindPoison] += tr.Created(decision.KindPoison)
+	e.unitsDone++
+	e.om.unitsFinished.Inc()
 	e.releaseLocked(w)
 }
 
@@ -709,6 +818,9 @@ func (e *engine) governLocked() {
 		if ms.HeapAlloc > e.cfg.MemBudgetBytes {
 			e.degraded = true
 			e.govStage++
+			e.om.govEscalations.Inc()
+			e.om.heapBytes.Set(int64(ms.HeapAlloc))
+			e.tracer.Record(-1, obs.EvGovernor, int64(e.govStage), int64(ms.HeapAlloc))
 			switch {
 			case e.govStage == 1:
 				e.poolEpoch++
@@ -777,6 +889,8 @@ func (e *engine) spillOneLocked(tr *decision.Tree) bool {
 	created[decision.KindPoison] = tr.Created(decision.KindPoison)
 	e.spilled = append(e.spilled, spillEntry{path: path, created: created})
 	e.spills++
+	e.om.spillsC.Inc()
+	e.tracer.Record(-1, obs.EvSpill, int64(e.spillSeq), int64(len(e.spilled)))
 	return true
 }
 
@@ -822,13 +936,14 @@ func (e *engine) depositLocked(w *worker, snap []byte) {
 func (e *engine) finishRoundLocked() {
 	units, err := e.frontierSnapshotsLocked(e.cpUnits)
 	if err == nil {
-		err = writeCheckpointFile(e.cfg.CheckpointPath, e.envelope(units, false), e.cfg.Chaos)
+		err = writeCheckpointFile(e.cfg.CheckpointPath, e.envelope(units, false), e.cfg.Chaos, e.om, e.tracer)
 	}
 	e.cpArmed = false
 	e.cpUnits = e.cpUnits[:0]
 	e.lastCPExecs, e.lastCPTime = e.execs, time.Now()
 	if err != nil {
 		e.cpErrs++
+		e.om.cpErrors.Inc()
 	}
 	e.cond.Broadcast()
 }

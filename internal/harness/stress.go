@@ -350,10 +350,19 @@ func StressOne(seed int64, opts StressOptions) (sr StressResult) {
 
 	parallelCfg := serialCfg
 	parallelCfg.Workers = 4
+	// The parallel leg runs fully observed: metrics registry and event
+	// tracing on (sunk to io.Discard), so the stress swarm continuously
+	// proves instrumentation never perturbs the explored execution set.
+	parallelCfg.Obs = cxlmc.NewMetricsRegistry()
+	parallelCfg.EventTrace = io.Discard
 	parallel, err := cxlmc.Run(parallelCfg, prog)
 	if err != nil {
 		violatef("parallel run failed: %v", err)
 		return sr
+	}
+	if got := int64(parallelCfg.Obs.Snapshot()["cxlmc_executions_total"]); got != int64(parallel.Executions) {
+		violatef("metrics disagree with stats: cxlmc_executions_total=%d vs Executions=%d",
+			got, parallel.Executions)
 	}
 	if serial.Complete != parallel.Complete {
 		violatef("completion disagrees: serial=%v parallel=%v", serial.Complete, parallel.Complete)

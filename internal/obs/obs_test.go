@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// registration races, increments and exports all at once — and then
+// checks nothing was lost. Run under -race this is the data-race proof
+// for the whole instrument layer.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every goroutine re-registers the same names: they must all
+			// get the same instruments back.
+			c := reg.Counter("c", "test counter")
+			ga := reg.Gauge("g", "test gauge")
+			h := reg.Histogram("h", "test histogram", []float64{10, 100})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Set(int64(i))
+				h.Observe(float64(i % 200))
+				if i%1000 == 0 {
+					var buf bytes.Buffer
+					if err := reg.WritePrometheus(&buf); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c", "").Value(); got != goroutines*perG {
+		t.Fatalf("counter lost increments: got %d want %d", got, goroutines*perG)
+	}
+	h := reg.Histogram("h", "", nil)
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram lost samples: got %d want %d", got, goroutines*perG)
+	}
+	var wantSum float64
+	for i := 0; i < perG; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); math.Abs(got-wantSum) > 0.5 {
+		t.Fatalf("histogram sum drifted: got %g want %g", got, wantSum)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", []float64{1})
+	var tr *Tracer
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	tr.Record(0, EvExecStart, 1, 2)
+	tr.RecordS(0, EvBugFound, 1, "x")
+	tr.Flush()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Err() != nil || tr.Total() != 0 {
+		t.Fatal("nil instruments must observe nothing")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry must export nothing: %q %v", buf.String(), err)
+	}
+	if len(reg.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	var srv *Server
+	if srv.Addr() != "" || srv.Close() != nil {
+		t.Fatal("nil server must be inert")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-bucket semantics: a sample
+// equal to a bound lands in that bound's bucket (Prometheus "less than
+// or equal"), one epsilon above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1, 10, 100})
+	for _, v := range []float64{0, 1, 1.0001, 10, 10.5, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	// Per-bound cumulative counts: le=1 → {0,1}; le=10 → +{1.0001,10};
+	// le=100 → +{10.5,100}; +Inf → +{101,1e9}.
+	wantCum := []int64{2, 4, 6, 8}
+	for i, want := range wantCum {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d cumulative: got %d want %d", i, got, want)
+		}
+	}
+	if got := h.Count(); got != 8 {
+		t.Errorf("count: got %d want 8", got)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+// TestWritePrometheusGolden locks the exposition format down: sorted
+// names, HELP/TYPE lines, cumulative le buckets with +Inf, _sum/_count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_total", "last by name").Add(7)
+	reg.Gauge("aa_gauge", "first by name").Set(-3)
+	h := reg.Histogram("mm_hist", "middle", []float64{1, 2.5})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_gauge first by name
+# TYPE aa_gauge gauge
+aa_gauge -3
+# HELP mm_hist middle
+# TYPE mm_hist histogram
+mm_hist_bucket{le="1"} 1
+mm_hist_bucket{le="2.5"} 2
+mm_hist_bucket{le="+Inf"} 3
+mm_hist_sum 101.5
+mm_hist_count 3
+# HELP zz_total last by name
+# TYPE zz_total counter
+zz_total 7
+`
+	if buf.String() != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	snap := reg.Snapshot()
+	if snap["zz_total"] != 7 || snap["aa_gauge"] != -3 ||
+		snap["mm_hist_count"] != 3 || snap["mm_hist_sum"] != 101.5 {
+		t.Fatalf("snapshot mismatch: %v", snap)
+	}
+}
+
+// TestTracerRingWraparound fills a sinkless ring past capacity and
+// checks it keeps exactly the most recent events, in order.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(1, 8, nil)
+	for i := 0; i < 20; i++ {
+		tr.Record(0, EvExecStart, int64(i), 0)
+	}
+	evs := tr.Events(0)
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want capacity 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.A != want {
+			t.Fatalf("event %d: A=%d want %d (oldest-first after wrap)", i, ev.A, want)
+		}
+	}
+	if tr.Total() != 20 {
+		t.Fatalf("Total=%d want 20", tr.Total())
+	}
+}
+
+// TestTracerSinkDrain checks the JSONL sink receives every event once a
+// ring fills (plus the Flush tail) as valid one-object lines.
+func TestTracerSinkDrain(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2, 4, &buf)
+	for i := 0; i < 10; i++ {
+		tr.Record(i%2, EvExecEnd, int64(i), int64(2*i))
+	}
+	tr.RecordS(-1, EvChaosFault, 0, `cla"ss`)
+	tr.Flush()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("sink got %d lines, want 11:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, `{"t_us":`) || !strings.HasSuffix(ln, "}") {
+			t.Fatalf("not a JSON object line: %q", ln)
+		}
+	}
+	if !strings.Contains(buf.String(), `"ev":"chaos-fault"`) || !strings.Contains(buf.String(), `"s":"cla\"ss"`) {
+		t.Fatalf("string event not encoded: %s", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, fmt.Errorf("sink broken")
+}
+
+// TestTracerSinkErrorLatches: a broken sink must silence itself after
+// the first error, never disturb recording.
+func TestTracerSinkErrorLatches(t *testing.T) {
+	w := &failWriter{}
+	tr := NewTracer(1, 2, w)
+	for i := 0; i < 50; i++ {
+		tr.Record(0, EvDecision, int64(i), 0)
+	}
+	tr.Flush()
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if w.n != 1 {
+		t.Fatalf("sink written %d times after latching, want 1", w.n)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("event kind %d has no name", k)
+		}
+	}
+}
+
+// TestServerEndpoints boots a real server on an ephemeral port and
+// exercises /metrics, /statusz and the pprof index.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cxlmc_executions_total", "execs").Add(42)
+	srv, err := NewServer("127.0.0.1:0", reg, func() any {
+		return map[string]int{"executions": 42}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) string {
+		resp, err := client.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return sb.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "cxlmc_executions_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/statusz"); !strings.Contains(body, `"executions": 42`) {
+		t.Fatalf("/statusz missing status:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index unexpected:\n%s", body)
+	}
+	if body := get("/"); !strings.Contains(body, "/statusz") {
+		t.Fatalf("index unexpected:\n%s", body)
+	}
+}
+
+func TestServerBadAddrFailsFast(t *testing.T) {
+	if _, err := NewServer("256.256.256.256:99999", nil, nil); err == nil {
+		t.Fatal("bad address must fail at construction")
+	}
+}

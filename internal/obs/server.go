@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live status server for one exploration run: /metrics in
+// Prometheus text format, /statusz as JSON (the engine's Progress
+// snapshot), and the standard /debug/pprof endpoints. It binds at
+// construction (so a bad address fails the run up front, not mid-flight)
+// and serves until Close.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer starts a status server on addr. reg may be nil (/metrics
+// serves an empty body); status may be nil (/statusz serves null). The
+// returned server is already listening; Addr reports the bound address,
+// which is useful with a ":0" addr.
+func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "cxlmc status server\n\n/metrics\t\tPrometheus text format\n/statusz\t\tJSON run status\n/debug/pprof/\tGo profiling\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var v any
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: status server on %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's bound "host:port" address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Safe on a nil receiver.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.http.Close()
+}

@@ -9,17 +9,19 @@
 #
 # The JSON is a list of {benchmark, ns_op, b_op, allocs_op, metrics{}}
 # rows parsed from `go test -bench` output, plus a final PeakRSS row
-# with the bench process's peak resident set (VmHWM); the raw output is
-# kept next to it as BENCH_<date>.txt.
+# with the bench process's peak resident set (VmHWM) and a
+# MetricsSnapshot row holding the observability registry's final counter
+# values from a real CLI run; the raw output is kept next to it as
+# BENCH_<date>.txt.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 benchtime=3x
-pattern='BenchmarkTable5|BenchmarkParallelScaling|BenchmarkFigure'
+pattern='BenchmarkTable5|BenchmarkParallelScaling|BenchmarkFigure|BenchmarkObsOverhead'
 if [ "${1:-}" = "--short" ]; then
     benchtime=1x
-    pattern='BenchmarkTable5/CCEH$|BenchmarkParallelScaling|BenchmarkFigure3'
+    pattern='BenchmarkTable5/CCEH$|BenchmarkParallelScaling|BenchmarkFigure3|BenchmarkObsOverhead'
 fi
 
 date="$(date +%Y%m%d)"
@@ -71,13 +73,21 @@ BEGIN { print "["; first = 1 }
     printf ",\"metrics\":{%s}}", metrics
 }
 END {
-    if (peak > 0) {
-        if (!first) print ","
-        printf "  {\"benchmark\":\"PeakRSS\",\"metrics\":{\"peak_rss_kb\":%s}}", peak
-    }
-    print ""
-    print "]"
+    if (!first) print ","
+    printf "  {\"benchmark\":\"PeakRSS\",\"metrics\":{\"peak_rss_kb\":%s}}", peak
 }
 ' "$txt" > "$json"
+
+# Append a live metrics snapshot from a real CLI run — the same counters
+# /metrics would serve, captured via -metrics-snapshot — then close the
+# JSON array the awk program left open.
+snap="$(mktemp "${TMPDIR:-/tmp}/cxlmc-snap.XXXXXX")"
+trap 'rm -f "$bin" "$snap"' EXIT
+go run ./cmd/cxlmc -bench CCEH -max-execs 2000 -workers 2 -metrics-snapshot "$snap" > /dev/null
+{
+    printf ',\n  {"benchmark":"MetricsSnapshot","metrics":'
+    tr -d '\n ' < "$snap"
+    printf '}\n]\n'
+} >> "$json"
 
 echo "wrote $txt and $json (peak RSS ${peak} kB)"
