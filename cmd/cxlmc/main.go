@@ -13,6 +13,7 @@
 //	      [-chaos] [-chaos-seed N]
 //	      [-metrics-addr host:port] [-progress d] [-event-log file]
 //	      [-metrics-snapshot file]
+//	      [-serve addr | -join addr] [-lease-ttl d] [-continue] [-worker-name s]
 //	cxlmc -stress N [-seed 0] [-chaos]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
@@ -49,6 +50,21 @@
 // metric values as JSON when the run ends. SIGUSR1 dumps an on-demand
 // status report to stderr without stopping the run.
 //
+// Distributed exploration: -serve addr runs this process as the
+// coordinator — it owns the frontier of subtree work units, serves the
+// lease API on addr, and (with -checkpoint) persists the frontier so a
+// SIGKILL'd coordinator resumes losslessly. -join addr runs a worker
+// that leases units from the coordinator at addr, explores them with its
+// local -workers pool, streams results back, and re-donates splits when
+// the cluster is hungry. Every lease carries a deadline (-lease-ttl) and
+// an epoch: units leased to crashed or wedged workers are reclaimed and
+// re-issued, stale completions are rejected idempotently, and the
+// distributed run reports exactly the bug set and repro tokens a
+// single-process run of the same configuration does. -continue keeps
+// exploring after the first bug (any mode). With -chaos, dist modes also
+// inject network faults (drops, delays, duplicates, partitions, 5xx)
+// into the worker↔coordinator RPCs.
+//
 // -stress N runs the self-fuzzing harness over N seeded random
 // programs (starting at -seed), checking the checker's own invariants:
 // no panics, serial/parallel parity, every repro token replays. With
@@ -74,6 +90,7 @@ import (
 
 	cxlmc "repro"
 	"repro/internal/cxlshm"
+	"repro/internal/dist"
 	"repro/internal/harness"
 	"repro/internal/recipe"
 )
@@ -115,6 +132,12 @@ func run() int {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 		stress     = flag.Int("stress", 0, "self-fuzz N seeded random programs (starting at -seed) instead of running a benchmark")
 
+		serveAddr  = flag.String("serve", "", "run as distributed coordinator: own the work-unit frontier and serve the lease API on this address (\":0\" picks a port)")
+		joinAddr   = flag.String("join", "", "run as distributed worker: lease work units from the coordinator at this address")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "work-unit lease duration before an unrenewed lease is reclaimed and re-issued (with -serve; 0 = 5s)")
+		contBug    = flag.Bool("continue", false, "keep exploring after the first bug instead of stopping")
+		workerName = flag.String("worker-name", "", "name this worker reports to the coordinator (with -join; default worker-<pid>)")
+
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address for the duration of the run (\":0\" picks a port)")
 		progressEach = flag.Duration("progress", 0, "print a one-line progress report to stderr at this cadence (0 = off)")
 		eventLog     = flag.String("event-log", "", "stream the structured exploration event trace to this file as JSON lines")
@@ -144,6 +167,23 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cxlmc: -checkpoint tracks a single exploration; use -seeds 1 (one checkpoint file per seed)")
 		return 2
 	}
+	if *serveAddr != "" && *joinAddr != "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -serve and -join are mutually exclusive (one process is either the coordinator or a worker)")
+		return 2
+	}
+	distMode := *serveAddr != "" || *joinAddr != ""
+	if distMode && *seeds > 1 {
+		fmt.Fprintln(os.Stderr, "cxlmc: distributed runs explore a single seed; use -seeds 1")
+		return 2
+	}
+	if distMode && *replay != "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -replay is a local single-execution re-run; drop -serve/-join")
+		return 2
+	}
+	if *joinAddr != "" && (*checkpoint != "" || *spillDir != "") {
+		fmt.Fprintln(os.Stderr, "cxlmc: workers hold no durable state; put -checkpoint (and -spill-dir) on the coordinator")
+		return 2
+	}
 
 	bugs, err := strconv.ParseUint(*bugsFlag, 0, 32)
 	if err != nil {
@@ -161,8 +201,9 @@ func run() int {
 	if *trace {
 		cfg.Trace = os.Stdout
 	}
+	cfg.ContinueAfterBug = *contBug
 	if *chaosOn {
-		cfg.Chaos = cxlmc.NewChaos(cxlmc.ChaosConfig{
+		ccfg := cxlmc.ChaosConfig{
 			Seed:          *chaosSeed,
 			WriteErrPct:   20,
 			ReadErrPct:    10,
@@ -171,7 +212,17 @@ func run() int {
 			ShortWritePct: 50,
 			StallPct:      5,
 			MaxFaults:     200,
-		})
+		}
+		if distMode {
+			// Dist modes extend chaos to the wire: the transport and the
+			// coordinator's handlers consult these classes.
+			ccfg.NetDropPct = 5
+			ccfg.NetDelayPct = 10
+			ccfg.NetDupPct = 5
+			ccfg.Net5xxPct = 5
+			ccfg.NetPartitionPct = 2
+		}
+		cfg.Chaos = cxlmc.NewChaos(ccfg)
 	}
 
 	var reg *cxlmc.MetricsRegistry
@@ -321,14 +372,10 @@ func run() int {
 		}
 	}
 
-	buggy := false
-	for s := *seed; s < *seed+int64(*seeds); s++ {
-		cfg.Seed = s
-		res, err := cxlmc.Run(cfg, program)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
-			return 1
-		}
+	// printResult renders one run's outcome, returning whether it found
+	// bugs; shared by local, coordinator and worker modes so their output
+	// is comparable line for line.
+	printResult := func(res *cxlmc.Result, s int64) bool {
 		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", *bench, bugs, *gpf, s)
 		fmt.Printf("executions  %d (complete=%v)\n", res.Executions, res.Complete)
 		fmt.Printf("fpoints     %d\n", res.FailurePoints)
@@ -347,6 +394,10 @@ func run() int {
 		if res.CheckpointErrors > 0 {
 			fmt.Printf("cp-errors   %d periodic checkpoint write(s) failed and were tolerated\n", res.CheckpointErrors)
 		}
+		if distMode || res.LeaseReclaims > 0 || res.RPCRetries > 0 || res.StaleCompletions > 0 {
+			fmt.Printf("dist        reclaims=%d rpc-retries=%d stale-completions=%d\n",
+				res.LeaseReclaims, res.RPCRetries, res.StaleCompletions)
+		}
 		if res.Interrupted {
 			where := "progress discarded (no -checkpoint)"
 			if *checkpoint != "" {
@@ -355,7 +406,6 @@ func run() int {
 			fmt.Printf("interrupted %s\n", where)
 		}
 		if res.Buggy() {
-			buggy = true
 			fmt.Printf("BUGS FOUND  %d\n", len(res.Bugs))
 			for _, b := range res.Bugs {
 				fmt.Printf("  %s\n", b)
@@ -363,8 +413,85 @@ func run() int {
 					fmt.Printf("    repro: -bench %s -replay %s\n", *bench, b.ReproToken)
 				}
 			}
-		} else {
-			fmt.Println("no bugs found")
+			return true
+		}
+		fmt.Println("no bugs found")
+		return false
+	}
+
+	if *serveAddr != "" {
+		// Coordinator: own the frontier, serve the lease API, persist the
+		// checkpoint. The Check config carries only exploration semantics;
+		// durable state and stop wiring live on the coordinator itself.
+		checkCfg := cfg
+		checkCfg.CheckpointPath = ""
+		checkCfg.CheckpointEvery = 0
+		checkCfg.Stop = nil
+		checkCfg.StatusRequests = nil
+		checkCfg.Chaos = nil // keep final repro-token minimization fault-free
+		coord, err := dist.StartCoordinator(dist.CoordinatorConfig{
+			Check:              checkCfg,
+			Program:            program,
+			Addr:               *serveAddr,
+			LeaseTTL:           *leaseTTL,
+			CheckpointPath:     *checkpoint,
+			CheckpointInterval: *cpInterval,
+			Chaos:              cfg.Chaos,
+			EventTrace:         cfg.EventTrace,
+			Stop:               stop,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "dist: "))
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cxlmc: coordinator serving the frontier on %s (workers: -bench %s -join %s)\n",
+			coord.Addr(), *bench, coord.Addr())
+		res, err := coord.Wait(nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "dist: "))
+			return 1
+		}
+		if reg != nil {
+			// The deferred -metrics-snapshot dump captures reg; point it at
+			// the coordinator's registry (lease gauges, reclaim counters).
+			reg = coord.Registry()
+		}
+		if printResult(res, *seed) {
+			return 1
+		}
+		return 0
+	}
+
+	if *joinAddr != "" {
+		res, err := dist.RunWorker(dist.WorkerConfig{
+			Check:       cfg,
+			Program:     program,
+			Coordinator: *joinAddr,
+			Name:        *workerName,
+			Chaos:       cfg.Chaos,
+			Registry:    reg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "dist: "))
+			return 1
+		}
+		fmt.Println("worker      local view below; the coordinator reports the authoritative global result")
+		if printResult(res, *seed) {
+			return 1
+		}
+		return 0
+	}
+
+	buggy := false
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		cfg.Seed = s
+		res, err := cxlmc.Run(cfg, program)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "cxlmc: "))
+			return 1
+		}
+		if printResult(res, s) {
+			buggy = true
 		}
 		if res.Interrupted {
 			break

@@ -53,6 +53,32 @@ type Config struct {
 	StallPct int
 	// StallDur is the stall length; 0 means a default of 1ms.
 	StallDur time.Duration
+
+	// Network fault classes, consulted by the distributed transport
+	// (repro/internal/dist). NetDropPct makes a call vanish without a
+	// response, as if the packet was lost; the transport's bounded retry
+	// must absorb it.
+	NetDropPct int
+	// NetDelayPct delays a call by NetDelayDur before it is sent,
+	// modelling a slow or congested link.
+	NetDelayPct int
+	// NetDelayDur is the injected network delay; 0 means a default of 5ms.
+	NetDelayDur time.Duration
+	// NetDupPct delivers a call twice, exercising the coordinator's
+	// request idempotency (a duplicated lease, completion or donation
+	// must not double its effect).
+	NetDupPct int
+	// Net5xxPct makes the coordinator answer a call with a retryable
+	// 5xx error instead of processing it.
+	Net5xxPct int
+	// NetPartitionPct opens a network partition window of NetPartitionDur
+	// during which every call fails, modelling a coordinator that is
+	// briefly unreachable; workers must degrade to local draining and
+	// reconnect when the window closes.
+	NetPartitionPct int
+	// NetPartitionDur is the partition window length; 0 means a default
+	// of 100ms.
+	NetPartitionDur time.Duration
 	// SpuriousWakePct broadcasts the engine's condition variable for no
 	// reason, exercising every wait loop's recheck path.
 	SpuriousWakePct int
@@ -86,12 +112,16 @@ type Stats struct {
 	Reads, Writes, Syncs, Renames int
 	ShortWrites, Corruptions      int
 	Stalls, Wakes, Barriers       int
+	// Network fault classes (distributed transport).
+	NetDrops, NetDelays, NetDups int
+	Net5xxs, NetPartitions       int
 }
 
 // Total returns the total number of injected faults.
 func (s Stats) Total() int {
 	return s.Reads + s.Writes + s.Syncs + s.Renames + s.Corruptions +
-		s.Stalls + s.Wakes + s.Barriers
+		s.Stalls + s.Wakes + s.Barriers +
+		s.NetDrops + s.NetDelays + s.NetDups + s.Net5xxs + s.NetPartitions
 }
 
 // Injector draws faults deterministically from a seeded RNG. Methods are
@@ -102,12 +132,21 @@ type Injector struct {
 	rng   *rand.Rand
 	spent int
 	stats Stats
+	// partUntil is the end of the currently open network partition
+	// window; zero when no partition is active.
+	partUntil time.Time
 }
 
 // New returns an injector for the given fault mix.
 func New(cfg Config) *Injector {
 	if cfg.StallDur == 0 {
 		cfg.StallDur = time.Millisecond
+	}
+	if cfg.NetDelayDur == 0 {
+		cfg.NetDelayDur = 5 * time.Millisecond
+	}
+	if cfg.NetPartitionDur == 0 {
+		cfg.NetPartitionDur = 100 * time.Millisecond
 	}
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
@@ -316,6 +355,84 @@ func (in *Injector) SpuriousBarrier() bool {
 	}
 	in.stats.Barriers++
 	in.note("barrier")
+	return true
+}
+
+// NetDrop reports whether an outgoing call should vanish without a
+// response. It also opens (and honours) network partition windows: while
+// a partition is active every call is dropped, so a worker sees the
+// coordinator as unreachable until the window closes. The returned error
+// is transient — bounded retry is allowed to absorb it.
+func (in *Injector) NetDrop() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := time.Now()
+	if now.Before(in.partUntil) {
+		return in.ioErr("net-partition")
+	}
+	if in.hit(in.cfg.NetPartitionPct) {
+		in.stats.NetPartitions++
+		in.note("net-partition")
+		in.partUntil = now.Add(in.cfg.NetPartitionDur)
+		return in.ioErr("net-partition")
+	}
+	if !in.hit(in.cfg.NetDropPct) {
+		return nil
+	}
+	in.stats.NetDrops++
+	in.note("net-drop")
+	return in.ioErr("net-drop")
+}
+
+// NetDelay returns how long an outgoing call should be delayed before it
+// is sent (zero for no delay). The caller sleeps; the injector never
+// blocks while holding its lock.
+func (in *Injector) NetDelay() time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.hit(in.cfg.NetDelayPct) {
+		return 0
+	}
+	in.stats.NetDelays++
+	in.note("net-delay")
+	return in.cfg.NetDelayDur
+}
+
+// NetDup reports whether a call should be delivered twice, exercising
+// the receiver's request idempotency.
+func (in *Injector) NetDup() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.hit(in.cfg.NetDupPct) {
+		return false
+	}
+	in.stats.NetDups++
+	in.note("net-dup")
+	return true
+}
+
+// Net5xx reports whether the server should answer a call with a
+// retryable 5xx instead of processing it.
+func (in *Injector) Net5xx() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.hit(in.cfg.Net5xxPct) {
+		return false
+	}
+	in.stats.Net5xxs++
+	in.note("net-5xx")
 	return true
 }
 

@@ -103,6 +103,12 @@ func Run(cfg Config, program func(*Program)) (*Result, error) {
 	if program == nil {
 		return nil, setupError{"nil program"}
 	}
+	if cfg.Frontier != nil && cfg.CheckpointPath != "" {
+		return nil, setupError{"Frontier and CheckpointPath are mutually exclusive: the frontier's owner holds the durable state"}
+	}
+	if cfg.Frontier != nil && cfg.SpillDir != "" {
+		return nil, setupError{"Frontier and SpillDir are mutually exclusive: donate surplus units to the frontier instead"}
+	}
 	cfg.fillDefaults()
 	progDigest, err := programDigestOf(cfg, program)
 	if err != nil {

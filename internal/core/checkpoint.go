@@ -362,3 +362,64 @@ func writeCheckpointOnce(path string, raw []byte, inj *chaos.Injector) error {
 
 // The engine in parallel.go assembles and adopts checkpointData; this
 // file only defines the format and the crash-safe file I/O.
+
+// Checkpoint is the exported name of the version-2 checkpoint envelope,
+// for callers outside the engine — notably the distributed coordinator,
+// which persists its frontier in the same format so a single-process run
+// can resume a coordinator's checkpoint and vice versa.
+type Checkpoint = checkpointData
+
+// NewCheckpoint returns an empty current-version checkpoint stamped with
+// the given identity.
+func NewCheckpoint(seed int64, cfgDigest, progDigest string) *Checkpoint {
+	return &Checkpoint{
+		Version:       checkpointVersion,
+		Seed:          seed,
+		ConfigDigest:  cfgDigest,
+		ProgramDigest: progDigest,
+	}
+}
+
+// LoadCheckpoint reads and validates the checkpoint at path. A missing
+// file returns (nil, nil); an undecodable file returns an error for
+// which IsCorruptCheckpoint reports true (quarantine it and start
+// fresh); version skew is a hard error.
+func LoadCheckpoint(path string, inj *chaos.Injector) (*Checkpoint, error) {
+	return loadCheckpoint(path, inj)
+}
+
+// WriteCheckpoint writes cp crash-safely (temp file + fsync + atomic
+// rename, transient faults retried with backoff).
+func WriteCheckpoint(path string, cp *Checkpoint, inj *chaos.Injector) error {
+	return writeCheckpointFile(path, cp, inj, coreMetrics{}, nil)
+}
+
+// QuarantineCheckpoint moves an undecodable checkpoint to
+// <path>.corrupt, preserving it for post-mortems.
+func QuarantineCheckpoint(path string, inj *chaos.Injector) error {
+	return quarantineCheckpoint(path, inj)
+}
+
+// IsCorruptCheckpoint reports whether err classifies a checkpoint file
+// as corrupt (as opposed to mismatched identity or version skew).
+func IsCorruptCheckpoint(err error) bool {
+	var c *corruptCheckpointError
+	return errors.As(err, &c)
+}
+
+// ExplorationDigests computes the configuration and program digests that
+// identify an exploration — the same values stamped into checkpoints and
+// repro tokens. The distributed coordinator and its workers compare them
+// at join time so a worker checking a different program or configuration
+// is rejected before it can pollute the frontier.
+func ExplorationDigests(cfg Config, program func(*Program)) (cfgDigest, progDigest string, err error) {
+	if program == nil {
+		return "", "", setupError{"nil program"}
+	}
+	cfg.fillDefaults()
+	progDigest, err = programDigestOf(cfg, program)
+	if err != nil {
+		return "", "", err
+	}
+	return configDigest(cfg), progDigest, nil
+}

@@ -253,6 +253,18 @@ type Config struct {
 	// snapshot each time a value arrives: the engine emits to OnProgress
 	// without stopping the run. cmd/cxlmc wires SIGUSR1 here.
 	StatusRequests <-chan struct{}
+
+	// Frontier, when non-nil, turns the run into a distributed worker:
+	// instead of seeding a fresh decision tree, the engine leases subtree
+	// work units from the frontier, explores them with its local worker
+	// pool, re-donates surplus splits when the frontier reports demand,
+	// and reports each lease's results (stats deltas, deduplicated bugs,
+	// unexplored remainders) back on completion. The frontier's owner —
+	// typically the dist coordinator — holds the durable state, so
+	// Frontier is mutually exclusive with CheckpointPath and SpillDir.
+	// Not part of the configuration digest: the same exploration is being
+	// checked, merely sharded.
+	Frontier Frontier
 }
 
 func (c *Config) fillDefaults() {
@@ -411,6 +423,17 @@ type Stats struct {
 	// startup, renamed to <path>.corrupt, and the run started fresh
 	// instead of failing.
 	Quarantined bool
+	// LeaseReclaims counts distributed work-unit leases reclaimed after
+	// their holder missed the lease deadline (a crashed or wedged
+	// worker); each reclaimed unit was re-issued under a new epoch.
+	LeaseReclaims int
+	// RPCRetries counts distributed transport calls that were retried
+	// after a transient failure (timeout, connection error, 5xx).
+	RPCRetries int
+	// StaleCompletions counts completion reports rejected for carrying a
+	// stale lease epoch — a worker finishing a unit that had already been
+	// reclaimed and re-issued. Rejection is idempotent and harmless.
+	StaleCompletions int
 }
 
 // Result is the outcome of a model-checking run.

@@ -144,6 +144,43 @@ type engine struct {
 	workers   []WorkerStatus
 	unitsDone int
 	baseExecs int
+
+	// Distributed-mode state (cfg.Frontier non-nil). The engine leases
+	// subtree units from rf instead of seeding a local tree; leases maps
+	// every live tree back to the lease it derives from (Split children
+	// inherit the parent's ref), and when a lease's last tree retires a
+	// completion report carrying the engine's unreported stats deltas is
+	// dispatched. leaseOut serializes the blocking Lease fetch across
+	// hungry workers; remoteDone latches once the frontier reports the
+	// exploration finished. leaseStop mirrors a local stop into a blocked
+	// Lease call (cond.Wait cannot watch a channel, and neither can an
+	// HTTP long-poll watch our mutex). pending tracks in-flight
+	// completion/donation RPC goroutines so run() can drain them.
+	rf              Frontier
+	remoteDone      bool
+	leaseOut        bool
+	leases          map[*decision.Tree]*leaseRef
+	pendingCreated  [numDecisionKinds]int
+	repExecs        int
+	repSteps        int64
+	repBugs         int
+	leaseStop       chan struct{}
+	leaseStopClosed bool
+	pending         sync.WaitGroup
+}
+
+// leaseRef tracks how many live trees still derive from one leased unit.
+type leaseRef struct {
+	lu          *LeasedUnit
+	outstanding int
+}
+
+// treeCreated reads a tree's per-kind decision-point counters.
+func treeCreated(tr *decision.Tree) (c [numDecisionKinds]int) {
+	c[decision.KindReadFrom] = tr.Created(decision.KindReadFrom)
+	c[decision.KindFailure] = tr.Created(decision.KindFailure)
+	c[decision.KindPoison] = tr.Created(decision.KindPoison)
+	return c
 }
 
 // worker is the per-goroutine exploration state.
@@ -176,6 +213,11 @@ func newEngine(cfg Config, program func(*Program), progDigest string) *engine {
 		cpRound:    0,
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if cfg.Frontier != nil {
+		e.rf = cfg.Frontier
+		e.leases = make(map[*decision.Tree]*leaseRef)
+		e.leaseStop = make(chan struct{})
+	}
 	e.workers = make([]WorkerStatus, cfg.Workers)
 	for i := range e.workers {
 		e.workers[i] = WorkerStatus{ID: i, State: "wait"}
@@ -192,6 +234,12 @@ func newEngine(cfg Config, program func(*Program), progDigest string) *engine {
 func (e *engine) seedFrontier() (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.rf != nil {
+		// Distributed worker: the frontier's owner seeds and persists the
+		// exploration; this process only leases units from it.
+		e.lastCPExecs, e.lastCPTime = e.execs, e.start
+		return nil, nil
+	}
 	if e.cfg.CheckpointPath != "" {
 		cp, err := loadCheckpoint(e.cfg.CheckpointPath, e.cfg.Chaos)
 		if err == nil && cp != nil {
@@ -242,6 +290,29 @@ func (e *engine) run() (*Result, error) {
 		return done, nil
 	}
 
+	// Watch Config.Stop from its own goroutine: workers parked in take
+	// wait on a condition variable and a remote lease fetch blocks in an
+	// HTTP long-poll, and neither can select on a channel. Without this,
+	// a SIGTERM while every worker was parked waiting for a steal went
+	// unnoticed until the next donation; now the watcher flips the stop
+	// flag (and leaseStop) immediately and the broadcast drains the pool.
+	if e.cfg.Stop != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-e.cfg.Stop:
+				e.mu.Lock()
+				if !e.stopFlag && e.failErr == nil {
+					e.interrupted = true
+					e.stopLocked()
+				}
+				e.mu.Unlock()
+			case <-watchDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < e.cfg.Workers; i++ {
 		w := &worker{
@@ -277,14 +348,25 @@ func (e *engine) run() (*Result, error) {
 	wg.Wait()
 
 	if e.haveP {
+		e.pending.Wait()
 		e.cleanupSpills()
 		panic(e.panicked)
 	}
 	if e.failErr != nil {
+		e.pending.Wait()
 		e.cleanupSpills()
 		return nil, e.failErr
 	}
-	complete := !e.stopFlag && len(e.queue) == 0 && len(e.spilled) == 0
+	if e.rf != nil {
+		// Resolve in-flight donations first (a failed one re-queues its
+		// trees), then return every still-queued tree to the frontier as
+		// its lease's remainder, so a graceful stop loses no work.
+		e.pending.Wait()
+		e.flushRemote()
+		e.pending.Wait()
+	}
+	complete := !e.stopFlag && len(e.queue) == 0 && len(e.spilled) == 0 &&
+		(e.rf == nil || e.remoteDone)
 	if e.cfg.Workers > 1 {
 		// Discovery order is nondeterministic across workers; report bugs
 		// in a stable order instead.
@@ -295,7 +377,12 @@ func (e *engine) run() (*Result, error) {
 			return e.bugs[i].Message < e.bugs[j].Message
 		})
 	}
-	minimizeBugTokens(e.cfg, e.program, e.progDigest, e.bugs)
+	if e.rf == nil {
+		// In distributed mode the coordinator minimizes the globally
+		// merged bug set instead, so every worker finding the same bug
+		// doesn't pay the replay cost; see dist.Coordinator.
+		minimizeBugTokens(e.cfg, e.program, e.progDigest, e.bugs)
+	}
 	res := e.result(complete)
 	if e.cfg.CheckpointPath != "" {
 		cp, err := e.checkpointData(complete)
@@ -352,6 +439,12 @@ func (e *engine) result(complete bool) *Result {
 		Spills:           e.spills,
 		CheckpointErrors: e.cpErrs,
 		Quarantined:      e.quarantined,
+	}
+	if e.rf != nil {
+		fs := e.rf.Stats()
+		stats.LeaseReclaims = fs.Reclaims
+		stats.RPCRetries = fs.RPCRetries
+		stats.StaleCompletions = fs.StaleRejects
 	}
 	return &Result{Stats: stats, Bugs: e.bugs, Seed: e.cfg.Seed, GPF: e.cfg.GPF}
 }
@@ -490,6 +583,14 @@ func (e *engine) take(w *worker) *decision.Tree {
 	defer func() { e.hungry-- }()
 	parked := false
 	for {
+		// A worker parked here must notice Config.Stop itself — the next
+		// donation may never come. (The stop watcher in run covers the
+		// waiting case; this check covers the entry path, so a run whose
+		// stop already fired claims no unit at all.)
+		if !e.stopFlag && e.failErr == nil && stopRequested(e.cfg.Stop) {
+			e.interrupted = true
+			e.stopLocked()
+		}
 		if e.stopFlag || e.failErr != nil {
 			e.workers[w.id].State = "done"
 			return nil
@@ -501,7 +602,8 @@ func (e *engine) take(w *worker) *decision.Tree {
 			e.unspillLocked()
 			continue
 		}
-		if len(e.queue) == 0 && len(e.spilled) == 0 && e.active == 0 {
+		if len(e.queue) == 0 && len(e.spilled) == 0 && e.active == 0 &&
+			(e.rf == nil || (e.remoteDone && !e.leaseOut)) {
 			e.workers[w.id].State = "done"
 			return nil
 		}
@@ -514,6 +616,10 @@ func (e *engine) take(w *worker) *decision.Tree {
 			e.workers[w.id].State = "run"
 			e.workers[w.id].Units++
 			return tr
+		}
+		if e.rf != nil && !e.remoteDone && !e.leaseOut && len(e.queue) == 0 {
+			e.leasePumpLocked(w)
+			continue
 		}
 		if !parked {
 			// First wait of this dry spell: record the park once, not per
@@ -547,6 +653,203 @@ func (e *engine) unspillLocked() {
 	e.om.unspills.Inc()
 	e.tracer.Record(-1, obs.EvUnspill, int64(len(e.spilled)), 0)
 	e.cond.Broadcast()
+}
+
+// leasePumpLocked fetches the next work unit from the remote frontier.
+// Called with e.mu held and leaseOut false; the blocking Lease call
+// itself runs unlocked, with leaseOut keeping peers from racing a second
+// fetch (they park on the condition variable instead).
+func (e *engine) leasePumpLocked(w *worker) {
+	e.leaseOut = true
+	e.workers[w.id].State = "lease"
+	e.mu.Unlock()
+	lu, err := e.rf.Lease(e.leaseStop)
+	e.mu.Lock()
+	e.leaseOut = false
+	defer e.cond.Broadcast()
+	switch {
+	case errors.Is(err, ErrStopped):
+		// leaseStop closes on any local stop; only a genuine Config.Stop
+		// should mark the run interrupted, and the stop watcher already
+		// did that before closing the channel.
+	case err != nil:
+		e.failLocked(err)
+	case lu == nil:
+		e.remoteDone = true
+	default:
+		tr := decision.NewTree()
+		if rerr := tr.Restore(lu.Snapshot); rerr != nil {
+			e.failLocked(fmt.Errorf("cxlmc: leased unit %d does not decode: %w", lu.ID, rerr))
+			return
+		}
+		if tr.Done() {
+			// A unit with nothing left to explore (a resumed checkpoint
+			// can carry them): complete it immediately, crediting its
+			// embedded decision-point counts, and pump again.
+			var rep UnitReport
+			rep.Created = treeCreated(tr)
+			e.completeAsync(lu, rep)
+			return
+		}
+		// The unit arrives with the decision-point counts of its past
+		// life embedded; subtracting them here means reports only ever
+		// carry what THIS worker contributed, so the coordinator's sum of
+		// deltas partitions exactly no matter how often units migrate.
+		for k, c := range treeCreated(tr) {
+			e.pendingCreated[k] -= c
+		}
+		e.leases[tr] = &leaseRef{lu: lu, outstanding: 1}
+		e.queue = append(e.queue, tr)
+	}
+}
+
+// adoptSplitLocked registers freshly split-off children under their
+// parent's lease: the lease completes only when every tree derived from
+// it has retired.
+func (e *engine) adoptSplitLocked(parent *decision.Tree, units []*decision.Tree) {
+	if e.rf == nil {
+		return
+	}
+	ref := e.leases[parent]
+	if ref == nil {
+		return
+	}
+	ref.outstanding += len(units)
+	for _, u := range units {
+		e.leases[u] = ref
+	}
+}
+
+// reportDeltaLocked assembles the stats delta since the previous report:
+// executions, steps, decision points and newly found bugs. An individual
+// report's Created can go negative (a lease adopted with large embedded
+// counts, most of which were donated onward); the coordinator only ever
+// sums deltas, so partition-exactness is what matters.
+func (e *engine) reportDeltaLocked() UnitReport {
+	rep := UnitReport{
+		Executions: e.execs - e.repExecs,
+		Steps:      e.steps - e.repSteps,
+		Created:    e.pendingCreated,
+		Bugs:       append([]Bug(nil), e.bugs[e.repBugs:]...),
+	}
+	e.repExecs, e.repSteps, e.repBugs = e.execs, e.steps, len(e.bugs)
+	e.pendingCreated = [numDecisionKinds]int{}
+	return rep
+}
+
+// completeAsync dispatches a completion report without holding e.mu (a
+// remote Complete is an HTTP call with retries). pending lets run drain
+// the dispatch before assembling the final result.
+func (e *engine) completeAsync(lu *LeasedUnit, rep UnitReport) {
+	e.pending.Add(1)
+	go func() {
+		defer e.pending.Done()
+		// A permanently failed completion is survivable: the lease
+		// expires, the coordinator reclaims and re-issues the unit, and
+		// the deterministic re-execution reports the same bugs.
+		e.rf.Complete(lu, rep)
+	}()
+}
+
+// retireShareLocked drops tr's claim on its lease; when the last tree
+// derived from the lease retires, the completion report goes out.
+func (e *engine) retireShareLocked(tr *decision.Tree) {
+	ref := e.leases[tr]
+	if ref == nil {
+		return
+	}
+	delete(e.leases, tr)
+	ref.outstanding--
+	if ref.outstanding > 0 {
+		return
+	}
+	e.completeAsync(ref.lu, e.reportDeltaLocked())
+}
+
+// donateLocked sends surplus queued trees back to the frontier, bounded
+// by its reported demand. The trees leave the queue immediately (local
+// workers must not race the donation) but stay charged to their leases
+// until the RPC succeeds; on failure they simply return to the queue —
+// degraded to local draining, nothing lost.
+func (e *engine) donateLocked() {
+	want := e.rf.Demand()
+	if want <= 0 || len(e.queue) == 0 {
+		return
+	}
+	if want > len(e.queue) {
+		want = len(e.queue)
+	}
+	trees := make([]*decision.Tree, want)
+	copy(trees, e.queue[len(e.queue)-want:])
+	e.queue = e.queue[:len(e.queue)-want]
+	snaps := make([][]byte, len(trees))
+	for i, tr := range trees {
+		snaps[i] = tr.Snapshot()
+	}
+	e.pending.Add(1)
+	go func() {
+		defer e.pending.Done()
+		err := e.rf.Donate(snaps)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err != nil {
+			e.queue = append(e.queue, trees...)
+			e.cond.Broadcast()
+			return
+		}
+		for _, tr := range trees {
+			// The donated subtree's counts leave with it (its next holder
+			// baselines them away), so they are this worker's to report.
+			for k, c := range treeCreated(tr) {
+				e.pendingCreated[k] += c
+			}
+			e.retireShareLocked(tr)
+		}
+	}()
+}
+
+// flushRemote returns every still-queued tree to the frontier as its
+// lease's remainder: requeued there as fresh units, so a graceful local
+// stop (Config.Stop, MaxExecutions, MaxTime, bug-stop) strands no work.
+// Called after the pool has drained; completions run synchronously.
+func (e *engine) flushRemote() {
+	e.mu.Lock()
+	type flush struct {
+		lu  *LeasedUnit
+		rep UnitReport
+	}
+	byRef := make(map[*leaseRef]int)
+	var outs []flush
+	for _, tr := range e.queue {
+		ref := e.leases[tr]
+		if ref == nil {
+			continue
+		}
+		delete(e.leases, tr)
+		ref.outstanding--
+		for k, c := range treeCreated(tr) {
+			e.pendingCreated[k] += c
+		}
+		i, ok := byRef[ref]
+		if !ok {
+			i = len(outs)
+			byRef[ref] = i
+			outs = append(outs, flush{lu: ref.lu})
+		}
+		outs[i].rep.Remainder = append(outs[i].rep.Remainder, tr.Snapshot())
+	}
+	e.queue = nil
+	if len(outs) > 0 {
+		// Attach the final stats delta to the first flushed lease; the
+		// others carry only their remainders.
+		remainder := outs[0].rep.Remainder
+		outs[0].rep = e.reportDeltaLocked()
+		outs[0].rep.Remainder = remainder
+	}
+	e.mu.Unlock()
+	for _, o := range outs {
+		e.rf.Complete(o.lu, o.rep)
+	}
 }
 
 // runUnit explores one subtree unit on w's private checker until the
@@ -690,11 +993,17 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 			// units stay parked — reloading them costs I/O; splitting is
 			// free). With one worker nobody is ever hungry and the serial
 			// DFS order is untouched.
-			if e.hungry > 0 && len(e.queue) == 0 {
+			if (e.hungry > 0 || (e.rf != nil && e.rf.Demand() > 0)) && len(e.queue) == 0 {
 				if units := tr.Split(); len(units) > 0 {
+					e.adoptSplitLocked(tr, units)
 					e.queue = append(e.queue, units...)
 					e.cond.Broadcast()
 				}
+			}
+			// Re-donate to the cluster: local peers are fed but the
+			// frontier reports hungry workers elsewhere.
+			if e.rf != nil && e.hungry == 0 && len(e.queue) > 0 {
+				e.donateLocked()
 			}
 			// Chaos: a spurious barrier arms a checkpoint round off
 			// cadence, exercising the stop-the-world machinery under load.
@@ -765,9 +1074,15 @@ func (e *engine) mergeLocked(w *worker) {
 // finishUnitLocked retires an exhausted unit: its decision-point
 // counters move to the engine's completed totals.
 func (e *engine) finishUnitLocked(w *worker, tr *decision.Tree) {
-	e.created[decision.KindReadFrom] += tr.Created(decision.KindReadFrom)
-	e.created[decision.KindFailure] += tr.Created(decision.KindFailure)
-	e.created[decision.KindPoison] += tr.Created(decision.KindPoison)
+	for k, c := range treeCreated(tr) {
+		e.created[k] += c
+	}
+	if e.rf != nil {
+		for k, c := range treeCreated(tr) {
+			e.pendingCreated[k] += c
+		}
+		e.retireShareLocked(tr)
+	}
 	e.unitsDone++
 	e.om.unitsFinished.Inc()
 	e.releaseLocked(w)
@@ -950,6 +1265,12 @@ func (e *engine) finishRoundLocked() {
 
 func (e *engine) stopLocked() {
 	e.stopFlag = true
+	if e.leaseStop != nil && !e.leaseStopClosed {
+		// Unblock a worker waiting inside Frontier.Lease: it cannot see
+		// the stop flag from there.
+		e.leaseStopClosed = true
+		close(e.leaseStop)
+	}
 	e.cond.Broadcast()
 }
 
@@ -957,6 +1278,5 @@ func (e *engine) failLocked(err error) {
 	if e.failErr == nil {
 		e.failErr = err
 	}
-	e.stopFlag = true
-	e.cond.Broadcast()
+	e.stopLocked()
 }

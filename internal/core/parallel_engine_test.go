@@ -208,8 +208,10 @@ func TestParallelCheckpointResume(t *testing.T) {
 }
 
 // TestParallelPreClosedStop: a Stop channel that is already closed
-// still lets exactly one execution finish (stop is only honored at
-// execution boundaries) — the extra idle workers must not run more.
+// stops the run before any execution starts — workers check the stop
+// on the way into the claim loop, so a SIGTERM that races run startup
+// (or fires while every worker is parked waiting for a steal) drains
+// the pool immediately instead of waiting for the next donation.
 func TestParallelPreClosedStop(t *testing.T) {
 	stop := make(chan struct{})
 	close(stop)
@@ -217,8 +219,8 @@ func TestParallelPreClosedStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Executions != 1 {
-		t.Fatalf("executions = %d, want 1 (one execution per run minimum, stop at first boundary)", res.Executions)
+	if res.Executions != 0 {
+		t.Fatalf("executions = %d, want 0 (a pre-closed stop must win before the first claim)", res.Executions)
 	}
 	if !res.Interrupted || res.Complete {
 		t.Fatalf("interrupted=%v complete=%v, want interrupted and incomplete", res.Interrupted, res.Complete)

@@ -172,6 +172,25 @@ func minimizeBugTokens(cfg Config, program func(*Program), progDigest string, bu
 	}
 }
 
+// MinimizeBugs rewrites bugs' repro tokens in place, pruning injected
+// failures the bugs do not need — the same pass a single-process run
+// applies at the end of exploration. The distributed coordinator calls
+// it over the globally merged bug set so distributed runs report tokens
+// identical to single-process ones. The program digest is recomputed
+// here; errors leave the tokens unminimized but valid.
+func MinimizeBugs(cfg Config, program func(*Program), bugs []Bug) {
+	if program == nil || len(bugs) == 0 {
+		return
+	}
+	cfg.fillDefaults()
+	cfg.Frontier = nil
+	progDigest, err := programDigestOf(cfg, program)
+	if err != nil {
+		return
+	}
+	minimizeBugTokens(cfg, program, progDigest, bugs)
+}
+
 // minimizeToken returns bug's token with unneeded injected failures
 // pruned, or the token unchanged when nothing can be pruned.
 func minimizeToken(cfg Config, program func(*Program), progDigest string, bug Bug) string {

@@ -170,9 +170,9 @@ func TestCheckpointRoundTripBuggy(t *testing.T) {
 	}
 }
 
-// TestStopChannelInterrupts: a closed Stop channel halts the run at the
-// next execution boundary with Interrupted set, and the checkpoint it
-// writes resumes to the full exploration.
+// TestStopChannelInterrupts: a closed Stop channel halts the run before
+// the first claim with Interrupted set, and the checkpoint it writes
+// resumes to the full exploration.
 func TestStopChannelInterrupts(t *testing.T) {
 	stop := make(chan struct{})
 	close(stop)
@@ -184,8 +184,8 @@ func TestStopChannelInterrupts(t *testing.T) {
 	if !res.Interrupted {
 		t.Fatal("Interrupted not set")
 	}
-	if res.Complete || res.Executions != 1 {
-		t.Fatalf("pre-closed stop should halt after one execution: execs=%d complete=%v", res.Executions, res.Complete)
+	if res.Complete || res.Executions != 0 {
+		t.Fatalf("pre-closed stop should halt before the first execution: execs=%d complete=%v", res.Executions, res.Complete)
 	}
 
 	full, err := Run(Config{}, resilientClean)

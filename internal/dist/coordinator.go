@@ -1,0 +1,725 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/decision"
+	"repro/internal/obs"
+)
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Check is the exploration configuration every worker must match
+	// (seed, GPF/Poison, step limits, ...). Worker-pool and local-only
+	// knobs (Workers, CheckpointPath, Stop, ...) are ignored here.
+	Check core.Config
+	// Program is the program under test; the coordinator runs it only to
+	// compute digests and to minimize repro tokens at the end.
+	Program func(*core.Program)
+	// Addr is the listen address (":0" picks a free port; see Addr).
+	Addr string
+	// LeaseTTL bounds how long a worker may sit on a work unit without
+	// renewing; 0 means 5s. Expired leases are reclaimed and re-issued.
+	LeaseTTL time.Duration
+	// CheckpointPath, when set, persists the frontier in the version-2
+	// checkpoint format: SIGKILL-ing the coordinator mid-run loses at
+	// most CheckpointInterval of progress, and the file is
+	// interchangeable with single-process checkpoints.
+	CheckpointPath string
+	// CheckpointInterval is the periodic write cadence; 0 means 2s.
+	CheckpointInterval time.Duration
+	// Chaos, when non-nil, injects server-side faults: 5xx responses on
+	// the API and I/O faults on checkpoint writes.
+	Chaos *chaos.Injector
+	// EventTrace, when non-nil, receives lease-lifecycle events as JSONL.
+	EventTrace io.Writer
+	// Stop, when non-nil, requests a graceful shutdown: stop issuing
+	// leases, wait for outstanding ones to resolve, checkpoint, return.
+	Stop <-chan struct{}
+}
+
+// Coordinator owns the distributed frontier and serves the worker API:
+// /v1/join, /v1/lease, /v1/renew, /v1/complete, /v1/donate, plus
+// /metrics (Prometheus text) and /statusz (JSON) for observability.
+type Coordinator struct {
+	cfg        CoordinatorConfig
+	cfgDigest  string
+	progDigest string
+	f          *core.MemFrontier
+	ln         net.Listener
+	srv        *http.Server
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	start      time.Time
+
+	mu          sync.Mutex
+	stopFlag    bool
+	interrupted bool
+	// Resumed-checkpoint baselines; live totals are base + frontier.
+	baseExecs   int
+	baseSteps   int64
+	baseCreated [core.NumDecisionKinds]int
+	baseBugs    []core.Bug
+	prior       time.Duration
+	resumed     bool
+	// emptySeed marks a resume from a checkpoint with no outstanding
+	// units: the exploration is already complete and Wait returns at once
+	// (the frontier itself never reports Done without having held units).
+	emptySeed   bool
+	quarantined bool
+	degraded    bool
+	spills      int
+	cpErrs      int
+	// starved tracks workers whose lease ask recently came up empty;
+	// its size is the donation demand broadcast to busy workers.
+	starved map[string]time.Time
+	idem    *idemCache
+
+	cpStop chan struct{}
+	cpDone chan struct{}
+
+	mLeaseActive *obs.Gauge
+	mReclaims    *obs.Counter
+	mStales      *obs.Counter
+	mRPCRetries  *obs.Counter
+	mCompletes   *obs.Counter
+	mGrants      *obs.Counter
+	mDonated     *obs.Counter
+}
+
+// starvedWindow is how long an empty lease response marks its worker as
+// hungry for donation purposes.
+const starvedWindow = 2 * time.Second
+
+// stopLinger is how long the coordinator keeps answering (with Stop or
+// Done) after the run resolves, so polling workers observe the outcome.
+const stopLinger = 250 * time.Millisecond
+
+// StartCoordinator seeds the frontier (resuming CheckpointPath if it
+// holds a valid checkpoint; a corrupt one is quarantined), starts the
+// HTTP server and the checkpoint loop, and returns immediately. Call
+// Wait for the result.
+func StartCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("dist: nil program")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Second
+	}
+	if cfg.CheckpointInterval <= 0 {
+		cfg.CheckpointInterval = 2 * time.Second
+	}
+	cfgDigest, progDigest, err := core.ExplorationDigests(cfg.Check, cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		cfgDigest:  cfgDigest,
+		progDigest: progDigest,
+		reg:        obs.NewRegistry(),
+		start:      time.Now(),
+		starved:    make(map[string]time.Time),
+		idem:       newIdemCache(512),
+		cpStop:     make(chan struct{}),
+		cpDone:     make(chan struct{}),
+	}
+	if cfg.EventTrace != nil {
+		c.tracer = obs.NewTracer(0, 1024, cfg.EventTrace)
+	}
+	c.mLeaseActive = c.reg.Gauge("cxlmc_lease_active", "work-unit leases currently held by workers")
+	c.mReclaims = c.reg.Counter("cxlmc_lease_reclaims_total", "leases reclaimed after their holder missed the deadline")
+	c.mStales = c.reg.Counter("cxlmc_lease_stale_completions_total", "completion reports rejected for a stale lease epoch")
+	c.mRPCRetries = c.reg.Counter("cxlmc_rpc_retries_total", "transport retries reported by workers")
+	c.mCompletes = c.reg.Counter("cxlmc_lease_completions_total", "work units completed by workers")
+	c.mGrants = c.reg.Counter("cxlmc_lease_grants_total", "work-unit leases granted")
+	c.mDonated = c.reg.Counter("cxlmc_units_donated_total", "surplus work units donated back by workers")
+
+	units, err := c.seedUnits()
+	if err != nil {
+		return nil, err
+	}
+	c.f = core.NewMemFrontier(core.MemFrontierConfig{
+		LeaseTTL: cfg.LeaseTTL,
+		OnEvent:  c.onLeaseEvent,
+	}, units)
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		c.f.Close()
+		return nil, fmt.Errorf("dist: listening on %s: %w", cfg.Addr, err)
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: c.mux()}
+	go c.srv.Serve(ln)
+	go c.checkpointLoop()
+	return c, nil
+}
+
+// seedUnits loads the initial frontier: the checkpoint's outstanding
+// units when resuming, otherwise a single fresh whole-tree unit.
+// Already-finished units from a checkpoint fold into the baselines
+// instead of being re-issued.
+func (c *Coordinator) seedUnits() ([][]byte, error) {
+	if c.cfg.CheckpointPath == "" {
+		return [][]byte{decision.NewTree().Snapshot()}, nil
+	}
+	cp, err := core.LoadCheckpoint(c.cfg.CheckpointPath, c.cfg.Chaos)
+	if err != nil {
+		if !core.IsCorruptCheckpoint(err) {
+			return nil, err
+		}
+		if qerr := core.QuarantineCheckpoint(c.cfg.CheckpointPath, c.cfg.Chaos); qerr != nil {
+			return nil, fmt.Errorf("%w (and quarantining it failed: %v)", err, qerr)
+		}
+		c.quarantined = true
+		return [][]byte{decision.NewTree().Snapshot()}, nil
+	}
+	if cp == nil {
+		return [][]byte{decision.NewTree().Snapshot()}, nil
+	}
+	if cp.Seed != c.cfg.Check.Seed {
+		return nil, fmt.Errorf("dist: checkpoint %s was written for seed %d, this run uses seed %d",
+			c.cfg.CheckpointPath, cp.Seed, c.cfg.Check.Seed)
+	}
+	if cp.ConfigDigest != c.cfgDigest || cp.ProgramDigest != c.progDigest {
+		return nil, fmt.Errorf("dist: checkpoint %s was written under a different configuration or program (digests %s/%s, this run %s/%s)",
+			c.cfg.CheckpointPath, cp.ConfigDigest, cp.ProgramDigest, c.cfgDigest, c.progDigest)
+	}
+	var units [][]byte
+	for _, raw := range cp.Units {
+		tr := decision.NewTree()
+		if err := tr.Restore(raw); err != nil {
+			// One undecodable unit marks the whole file corrupt, exactly
+			// like the single-process engine treats it.
+			if qerr := core.QuarantineCheckpoint(c.cfg.CheckpointPath, c.cfg.Chaos); qerr == nil {
+				c.quarantined = true
+				return [][]byte{decision.NewTree().Snapshot()}, nil
+			}
+			return nil, fmt.Errorf("dist: checkpoint %s unit does not decode: %w", c.cfg.CheckpointPath, err)
+		}
+		// The unit's embedded decision-point counts fold into the
+		// baseline whether or not it still has work: a checkpoint's
+		// BaseCreated excluded them (the single-process resume engine
+		// re-adds them at unit completion), but remote workers baseline
+		// embedded counts away at adoption and report net-new only, so
+		// the coordinator must credit them exactly once, here.
+		for k, n := range treeCounts(tr) {
+			c.baseCreated[k] += n
+		}
+		if tr.Done() {
+			continue
+		}
+		units = append(units, raw)
+	}
+	for k, n := range cp.BaseCreated {
+		c.baseCreated[k] += n
+	}
+	c.baseExecs = cp.Executions
+	c.baseSteps = cp.Steps
+	c.prior = cp.Elapsed
+	c.baseBugs = append([]core.Bug(nil), cp.Bugs...)
+	c.degraded = cp.Degraded
+	c.spills = cp.Spills
+	c.cpErrs = cp.CheckpointErrors
+	c.quarantined = c.quarantined || cp.Quarantined
+	c.resumed = true
+	if len(units) == 0 {
+		// Nothing left: Wait finishes immediately with the checkpointed
+		// result, and joining workers are told Done on their first lease.
+		c.emptySeed = true
+		return nil, nil
+	}
+	return units, nil
+}
+
+func treeCounts(tr *decision.Tree) (c [core.NumDecisionKinds]int) {
+	c[decision.KindReadFrom] = tr.Created(decision.KindReadFrom)
+	c[decision.KindFailure] = tr.Created(decision.KindFailure)
+	c[decision.KindPoison] = tr.Created(decision.KindPoison)
+	return c
+}
+
+// onLeaseEvent observes MemFrontier lease-table transitions (called with
+// the frontier's lock held — metrics and tracer only, both fast).
+func (c *Coordinator) onLeaseEvent(class string, unit, epoch uint64) {
+	switch class {
+	case "grant":
+		c.mLeaseActive.Add(1)
+		c.mGrants.Inc()
+		c.tracer.Record(-1, obs.EvLeaseGrant, int64(unit), int64(epoch))
+	case "renew":
+		c.tracer.Record(-1, obs.EvLeaseRenew, int64(unit), int64(epoch))
+	case "complete":
+		c.mLeaseActive.Add(-1)
+		c.mCompletes.Inc()
+		c.tracer.Record(-1, obs.EvLeaseComplete, int64(unit), int64(epoch))
+	case "reclaim":
+		c.mLeaseActive.Add(-1)
+		c.mReclaims.Inc()
+		c.tracer.Record(-1, obs.EvLeaseReclaim, int64(unit), int64(epoch))
+	case "stale":
+		c.mStales.Inc()
+		c.tracer.Record(-1, obs.EvLeaseStale, int64(unit), int64(epoch))
+	}
+}
+
+// Addr returns the bound "host:port" address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/join", c.withChaos(c.handleJoin))
+	mux.HandleFunc("/v1/lease", c.withChaos(c.handleLease))
+	mux.HandleFunc("/v1/renew", c.withChaos(c.handleRenew))
+	mux.HandleFunc("/v1/complete", c.withChaos(c.handleComplete))
+	mux.HandleFunc("/v1/donate", c.withChaos(c.handleDonate))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.statusz())
+	})
+	return mux
+}
+
+// withChaos wraps a handler with server-side fault injection: a chaos
+// 5xx makes the coordinator answer 503 without processing the request,
+// exercising the workers' retry path.
+func (c *Coordinator) withChaos(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.cfg.Chaos.Net5xx() {
+			http.Error(w, "chaos: injected 5xx", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (c *Coordinator) statusz() map[string]any {
+	execs, steps, _, bugs, queued, leased := c.f.Progress()
+	fs := c.f.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return map[string]any{
+		"role":       "coordinator",
+		"executions": c.baseExecs + execs,
+		"steps":      c.baseSteps + steps,
+		"bugs":       len(bugs),
+		"queued":     queued,
+		"leased":     leased,
+		"reclaims":   fs.Reclaims,
+		"stale":      fs.StaleRejects,
+		"stopping":   c.stopFlag,
+		"elapsed_ms": (c.prior + time.Since(c.start)).Milliseconds(),
+	}
+}
+
+// decode parses a JSON request body, answering 400 on garbage.
+func decode[T any](w http.ResponseWriter, r *http.Request, req *T) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// reply sends resp as JSON, remembering it under the request's ID so a
+// duplicated delivery (network dup, client retry after a lost response)
+// replays the identical response instead of re-applying the effect.
+func (c *Coordinator) reply(w http.ResponseWriter, reqID string, resp any) {
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if reqID != "" {
+		c.idem.put(reqID, raw)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+}
+
+// replayed answers a remembered response for a duplicate request ID.
+func (c *Coordinator) replayed(w http.ResponseWriter, reqID string) bool {
+	if reqID == "" {
+		return false
+	}
+	raw, ok := c.idem.get(reqID)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+	return true
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Seed != c.cfg.Check.Seed {
+		http.Error(w, fmt.Sprintf("seed mismatch: coordinator explores seed %d, worker %q offers %d",
+			c.cfg.Check.Seed, req.Worker, req.Seed), http.StatusConflict)
+		return
+	}
+	if req.ConfigDigest != c.cfgDigest || req.ProgramDigest != c.progDigest {
+		http.Error(w, fmt.Sprintf("digest mismatch: coordinator explores %s/%s, worker %q offers %s/%s — configuration or program differs",
+			c.cfgDigest, c.progDigest, req.Worker, req.ConfigDigest, req.ProgramDigest), http.StatusConflict)
+		return
+	}
+	c.reply(w, "", joinResponse{
+		LeaseTTLMs:       c.cfg.LeaseTTL.Milliseconds(),
+		ContinueAfterBug: c.cfg.Check.ContinueAfterBug,
+	})
+}
+
+// wanted returns the current donation demand (workers recently starved
+// for units). Caller must hold c.mu.
+func (c *Coordinator) wantedLocked() int {
+	now := time.Now()
+	for wk, t := range c.starved {
+		if now.Sub(t) > starvedWindow {
+			delete(c.starved, wk)
+		}
+	}
+	return len(c.starved)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if c.replayed(w, req.ReqID) {
+		return
+	}
+	c.mu.Lock()
+	stopping := c.stopFlag
+	c.mu.Unlock()
+	var resp leaseResponse
+	if stopping {
+		resp.Stop = true
+		c.reply(w, req.ReqID, resp)
+		return
+	}
+	u, done := c.f.TryLease(req.Worker)
+	c.mu.Lock()
+	switch {
+	case u != nil:
+		delete(c.starved, req.Worker)
+		resp.Unit = &wireUnit{ID: u.ID, Epoch: u.Epoch, Snapshot: u.Snapshot}
+	case done:
+		resp.Done = true
+	default:
+		// Nothing free right now but leases are outstanding: mark this
+		// worker starved (its hunger becomes donation demand) and have it
+		// ask again shortly.
+		c.starved[req.Worker] = time.Now()
+		resp.WaitMs = 25
+	}
+	resp.Wanted = c.wantedLocked()
+	c.mu.Unlock()
+	c.reply(w, req.ReqID, resp)
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if c.replayed(w, req.ReqID) {
+		return
+	}
+	var resp renewResponse
+	for _, l := range req.Leases {
+		if !c.f.Renew(l.ID, l.Epoch) {
+			resp.StaleIDs = append(resp.StaleIDs, l.ID)
+		}
+	}
+	c.mu.Lock()
+	resp.Stop = c.stopFlag
+	resp.Wanted = c.wantedLocked()
+	c.mu.Unlock()
+	c.reply(w, req.ReqID, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if c.replayed(w, req.ReqID) {
+		return
+	}
+	stale := c.f.CompleteReport(req.UnitID, req.Epoch, req.Report)
+	var resp completeResponse
+	resp.Stale = stale
+	c.mu.Lock()
+	if !stale {
+		c.mRPCRetries.Add(int64(req.Report.RPCRetries))
+		if len(req.Report.Bugs) > 0 && !c.cfg.Check.ContinueAfterBug {
+			// Mirror the single-process engine: first bug stops the run.
+			c.stopFlag = true
+			c.f.Stop()
+		}
+	}
+	resp.Stop = c.stopFlag
+	resp.Wanted = c.wantedLocked()
+	c.mu.Unlock()
+	c.reply(w, req.ReqID, resp)
+}
+
+func (c *Coordinator) handleDonate(w http.ResponseWriter, r *http.Request) {
+	var req donateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if c.replayed(w, req.ReqID) {
+		return
+	}
+	c.f.Add(req.Units)
+	c.mDonated.Add(int64(len(req.Units)))
+	var resp donateResponse
+	c.mu.Lock()
+	resp.Stop = c.stopFlag
+	resp.Wanted = c.wantedLocked()
+	c.mu.Unlock()
+	c.reply(w, req.ReqID, resp)
+}
+
+// checkpointLoop periodically persists the frontier.
+func (c *Coordinator) checkpointLoop() {
+	defer close(c.cpDone)
+	if c.cfg.CheckpointPath == "" {
+		return
+	}
+	t := time.NewTicker(c.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.cpStop:
+			return
+		case <-t.C:
+			if err := c.writeCheckpoint(false); err != nil {
+				c.mu.Lock()
+				c.cpErrs++
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// writeCheckpoint persists the current frontier in the single-process
+// checkpoint format. Outstanding units keep their embedded
+// decision-point counts, so the BaseCreated written here is the reported
+// totals MINUS those embedded counts — a resume (by a coordinator or a
+// plain single-process run) sums them back to exactly the same totals.
+func (c *Coordinator) writeCheckpoint(complete bool) error {
+	execs, steps, created, bugs, _, _ := c.f.Progress()
+	units := c.f.OutstandingSnapshots()
+	cp := core.NewCheckpoint(c.cfg.Check.Seed, c.cfgDigest, c.progDigest)
+	cp.Units = units
+	c.mu.Lock()
+	for k := range cp.BaseCreated {
+		cp.BaseCreated[k] = c.baseCreated[k] + created[k]
+	}
+	cp.Executions = c.baseExecs + execs
+	cp.Steps = c.baseSteps + steps
+	cp.Elapsed = c.prior + time.Since(c.start)
+	cp.Complete = complete
+	cp.Interrupted = c.interrupted
+	cp.Degraded = c.degraded
+	cp.Spills = c.spills
+	cp.CheckpointErrors = c.cpErrs
+	cp.Quarantined = c.quarantined
+	cp.Bugs = mergeBugs(c.baseBugs, bugs)
+	c.mu.Unlock()
+	for _, raw := range units {
+		tr := decision.NewTree()
+		if err := tr.Restore(raw); err != nil {
+			continue
+		}
+		for k, n := range treeCounts(tr) {
+			cp.BaseCreated[k] -= n
+		}
+	}
+	return core.WriteCheckpoint(c.cfg.CheckpointPath, cp, c.cfg.Chaos)
+}
+
+// mergeBugs deduplicates base + fresh by (kind, message), keeping base's
+// instances first.
+func mergeBugs(base, fresh []core.Bug) []core.Bug {
+	seen := make(map[string]bool, len(base)+len(fresh))
+	out := make([]core.Bug, 0, len(base)+len(fresh))
+	for _, bs := range [][]core.Bug{base, fresh} {
+		for _, b := range bs {
+			key := b.Kind.String() + ":" + b.Message
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// Wait blocks until the exploration completes (every unit explored and
+// reported), the coordinator stops on a bug, or stop/cfg.Stop fires;
+// then it shuts the server down, writes the final checkpoint and returns
+// the merged result. The bug set is sorted (kind, message) and repro
+// tokens are minimized over the global set, so a distributed run's
+// output is comparable line-for-line with a single-process run's.
+func (c *Coordinator) Wait(stop <-chan struct{}) (*core.Result, error) {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	stopCh, cfgStop := stop, c.cfg.Stop
+	complete := c.emptySeed
+	for !complete {
+		select {
+		case <-stopCh:
+			stopCh = nil // fire once; a closed channel must not spin the loop
+			c.requestStop(true)
+		case <-cfgStop:
+			// A nil channel blocks forever; only a real stop lands here.
+			cfgStop = nil
+			c.requestStop(true)
+		case <-tick.C:
+		}
+		if c.f.Done() {
+			complete = true
+			break
+		}
+		c.mu.Lock()
+		stopping := c.stopFlag
+		c.mu.Unlock()
+		if stopping {
+			// Stopping: wait for outstanding leases to resolve (complete,
+			// flush, or expire and be reclaimed) so the final checkpoint
+			// holds every unexplored unit.
+			if _, _, _, _, _, leased := c.f.Progress(); leased == 0 {
+				break
+			}
+		}
+	}
+	c.requestStop(false)
+	close(c.cpStop)
+	<-c.cpDone
+	// Linger briefly with the stop flag set before tearing the server
+	// down: idle workers poll every ~25ms and need to see one Stop/Done
+	// response to exit promptly, instead of retrying a dead address until
+	// their give-up timer fires.
+	time.Sleep(stopLinger)
+	c.srv.Close()
+	execs, steps, created, bugs, _, _ := c.f.Progress()
+	fs := c.f.Stats()
+	c.f.Close()
+	c.mu.Lock()
+	merged := mergeBugs(c.baseBugs, bugs)
+	stats := core.Stats{
+		Executions:       c.baseExecs + execs,
+		Steps:            c.baseSteps + steps,
+		Elapsed:          c.prior + time.Since(c.start),
+		Complete:         complete,
+		Interrupted:      c.interrupted,
+		Resumed:          c.resumed,
+		Degraded:         c.degraded,
+		Spills:           c.spills,
+		CheckpointErrors: c.cpErrs,
+		Quarantined:      c.quarantined,
+		LeaseReclaims:    fs.Reclaims,
+		RPCRetries:       fs.RPCRetries,
+		StaleCompletions: fs.StaleRejects,
+	}
+	for k := range created {
+		created[k] += c.baseCreated[k]
+	}
+	c.mu.Unlock()
+	stats.FailurePoints = created[decision.KindFailure]
+	stats.ReadFromPoints = created[decision.KindReadFrom]
+	stats.PoisonPoints = created[decision.KindPoison]
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].Kind != merged[j].Kind {
+			return merged[i].Kind < merged[j].Kind
+		}
+		return merged[i].Message < merged[j].Message
+	})
+	core.MinimizeBugs(c.cfg.Check, c.cfg.Program, merged)
+	if c.cfg.CheckpointPath != "" {
+		if err := c.writeCheckpoint(complete); err != nil {
+			// Like the engine, only a failed FINAL write fails the run:
+			// without it the remaining frontier would be lost.
+			if !complete {
+				return nil, err
+			}
+			c.mu.Lock()
+			c.cpErrs++
+			stats.CheckpointErrors = c.cpErrs
+			c.mu.Unlock()
+		}
+	}
+	c.tracer.Flush()
+	return &core.Result{Stats: stats, Bugs: merged, Seed: c.cfg.Check.Seed, GPF: c.cfg.Check.GPF}, nil
+}
+
+// requestStop flips the stop flag; interrupted marks it operator-driven.
+func (c *Coordinator) requestStop(interrupted bool) {
+	c.mu.Lock()
+	if interrupted && !c.stopFlag {
+		c.interrupted = true
+	}
+	c.stopFlag = true
+	c.mu.Unlock()
+	c.f.Stop()
+}
+
+// Registry exposes the coordinator's metrics registry (tests, snapshot
+// dumps).
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// idemCache is a bounded request-ID → response cache backing the API's
+// idempotency: a duplicated request replays its original response.
+type idemCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string][]byte
+	order []string
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, m: make(map[string][]byte, capacity)}
+}
+
+func (ic *idemCache) put(id string, raw []byte) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	if _, ok := ic.m[id]; ok {
+		return
+	}
+	if len(ic.order) >= ic.cap {
+		old := ic.order[0]
+		ic.order = ic.order[1:]
+		delete(ic.m, old)
+	}
+	ic.m[id] = raw
+	ic.order = append(ic.order, id)
+}
+
+func (ic *idemCache) get(id string) ([]byte, bool) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	raw, ok := ic.m[id]
+	return raw, ok
+}

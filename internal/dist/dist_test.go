@@ -1,0 +1,517 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/recipe"
+	"repro/internal/recipe/cceh"
+)
+
+// The distributed-exploration suite: end-to-end parity over real HTTP,
+// crashed-worker lease reclamation, coordinator crash + checkpoint
+// resume, wire-level idempotency, and a network-chaos sweep proving no
+// work unit is ever lost or double-counted.
+
+// fixture builds a deterministic buggy program whose state space grows
+// with keys: the writer leaves every odd slot unflushed, so each odd
+// slot is a distinct crash-consistency bug.
+func fixture(keys int) func(*core.Program) {
+	return func(p *core.Program) {
+		a := p.NewMachine("A")
+		b := p.NewMachine("B")
+		slots := make([]core.Addr, keys)
+		for i := range slots {
+			slots[i] = p.AllocAligned(8, 64)
+		}
+		flag := p.AllocAligned(8, 64)
+		a.Thread("writer", func(t *core.Thread) {
+			for i, s := range slots {
+				t.Store64(s, uint64(i)+1)
+				if i%2 == 0 {
+					t.CLFlush(s)
+				}
+				t.SFence()
+			}
+			t.Store64(flag, 1)
+			t.CLFlush(flag)
+			t.SFence()
+		})
+		b.Thread("check", func(t *core.Thread) {
+			t.Join(a)
+			if t.Load64(flag) == 1 {
+				for i, s := range slots {
+					t.Assert(t.Load64(s) == uint64(i)+1, fmt.Sprintf("slot %d lost after failure", i))
+				}
+			}
+		})
+	}
+}
+
+// ccehProgram is the paper's Table 5 CCEH benchmark with the missing-
+// flush bug seeded — the same workload the acceptance smoke runs, and
+// large enough (hundreds of executions) to exercise splits and mid-run
+// checkpoints.
+func ccehProgram(keys int) func(*core.Program) {
+	return recipe.Program(cceh.Benchmark, recipe.Config{Keys: keys, Bugs: recipe.Bug(1)})
+}
+
+func distinctBugs(bugs []core.Bug) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range bugs {
+		k := b.Kind.String() + ": " + b.Message
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertParity fails unless res matches the single-process baseline in
+// executions, decision points and distinct bug set.
+func assertParity(t *testing.T, label string, res, base *core.Result) {
+	t.Helper()
+	if !res.Complete {
+		t.Fatalf("%s: run incomplete", label)
+	}
+	if res.Executions != base.Executions ||
+		res.FailurePoints != base.FailurePoints ||
+		res.ReadFromPoints != base.ReadFromPoints {
+		t.Fatalf("%s: stats (execs %d, fp %d, rfp %d) != baseline (execs %d, fp %d, rfp %d)",
+			label, res.Executions, res.FailurePoints, res.ReadFromPoints,
+			base.Executions, base.FailurePoints, base.ReadFromPoints)
+	}
+	if got, want := distinctBugs(res.Bugs), distinctBugs(base.Bugs); !equal(got, want) {
+		t.Fatalf("%s: bug set %v != baseline %v", label, got, want)
+	}
+}
+
+// TestTransportRetriesTransientFaults: 5xx and connection failures are
+// retried with backoff; a 4xx surfaces immediately as a rejection.
+func TestTransportRetriesTransientFaults(t *testing.T) {
+	var mu sync.Mutex
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fails > 0 {
+			fails--
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(srv.URL, TransportConfig{Backoff: time.Millisecond})
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	if err := tr.Call("/x", struct{}{}, &resp); err != nil {
+		t.Fatalf("Call after transient 503s: %v", err)
+	}
+	if !resp.OK {
+		t.Fatal("response not decoded")
+	}
+	if tr.Retries() != 2 {
+		t.Fatalf("Retries = %d, want 2", tr.Retries())
+	}
+
+	rej := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusConflict)
+	}))
+	defer rej.Close()
+	tr2 := NewTransport(rej.URL, TransportConfig{Backoff: time.Millisecond})
+	err := tr2.Call("/x", struct{}{}, nil)
+	if err == nil || !IsRejected(err) {
+		t.Fatalf("409 should be a permanent rejection, got %v", err)
+	}
+	if tr2.Retries() != 0 {
+		t.Fatalf("a permanent 4xx was retried %d time(s)", tr2.Retries())
+	}
+}
+
+// TestDistEndToEndParity: a coordinator and two worker processes (in
+// miniature: two RunWorker calls over real HTTP) explore exactly the
+// executions a single-process run does, find the same distinct bugs,
+// and every repro token the distributed run mints replays to a bug.
+func TestDistEndToEndParity(t *testing.T) {
+	check := core.Config{ContinueAfterBug: true}
+	prog := ccehProgram(10)
+	base, err := core.Run(check, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Buggy() {
+		t.Fatal("fixture found no bugs")
+	}
+
+	c, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: prog, Addr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := RunWorker(WorkerConfig{
+				Check: check, Program: prog,
+				Coordinator: c.Addr(), Name: fmt.Sprintf("w%d", i),
+			}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	res, err := c.Wait(nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, "distributed", res, base)
+
+	for _, b := range res.Bugs {
+		if b.ReproToken == "" {
+			t.Fatalf("bug %q has no repro token", b.Message)
+		}
+		rr, err := core.Replay(b.ReproToken, core.Config{}, prog)
+		if err != nil {
+			t.Fatalf("replaying %q: %v", b.Message, err)
+		}
+		if !rr.Buggy() {
+			t.Fatalf("token of %q replays to no bug", b.Message)
+		}
+	}
+}
+
+// TestDistDigestMismatchRejected: a worker offering a different program
+// is turned away at join with a permanent rejection, not retried into
+// the frontier.
+func TestDistDigestMismatchRejected(t *testing.T) {
+	c, err := StartCoordinator(CoordinatorConfig{
+		Check: core.Config{}, Program: fixture(4), Addr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stop := make(chan struct{})
+		close(stop)
+		c.Wait(stop)
+	}()
+	_, err = RunWorker(WorkerConfig{
+		Check: core.Config{}, Program: fixture(8),
+		Coordinator: c.Addr(), Name: "impostor",
+	})
+	if err == nil {
+		t.Fatal("join with a mismatched program digest succeeded")
+	}
+}
+
+// TestDistAbandonedLeaseReclaim is the crashed-worker story end to end:
+// a fake worker joins, leases the only unit and dies silently. The
+// coordinator reclaims the lease after the TTL, a real worker finishes
+// the exploration, the dead worker's late completion is rejected as
+// stale, and the global result still matches the single-process
+// baseline exactly — LeaseReclaims and StaleCompletions record the
+// recovery.
+func TestDistAbandonedLeaseReclaim(t *testing.T) {
+	check := core.Config{ContinueAfterBug: true}
+	prog := ccehProgram(8)
+	base, err := core.Run(check, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: prog, Addr: "127.0.0.1:0",
+		LeaseTTL: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fake worker: join, lease, crash (never renew, never complete).
+	tr := NewTransport(c.Addr(), TransportConfig{})
+	cfgDigest, progDigest, err := core.ExplorationDigests(check, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr joinResponse
+	if err := tr.Call("/v1/join", joinRequest{Worker: "crasher", Seed: 0, ConfigDigest: cfgDigest, ProgramDigest: progDigest}, &jr); err != nil {
+		t.Fatal(err)
+	}
+	var lr leaseResponse
+	if err := tr.Call("/v1/lease", leaseRequest{Worker: "crasher", ReqID: "crasher-lease-1"}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Unit == nil {
+		t.Fatal("fake worker got no lease")
+	}
+
+	// A healthy worker arrives; it can only make progress once the dead
+	// worker's lease is reclaimed and re-issued.
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(WorkerConfig{
+			Check: check, Program: prog,
+			Coordinator: c.Addr(), Name: "healthy",
+		})
+		done <- err
+	}()
+
+	res, err := c.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("healthy worker: %v", werr)
+	}
+	assertParity(t, "post-crash", res, base)
+	if res.LeaseReclaims < 1 {
+		t.Fatalf("LeaseReclaims = %d, want >= 1", res.LeaseReclaims)
+	}
+
+	// The crasher rises from the dead: its completion must be rejected
+	// (the coordinator lingers briefly after the run for exactly this
+	// kind of straggler).
+	var cr completeResponse
+	err = tr.Call("/v1/complete", completeRequest{
+		Worker: "crasher", ReqID: "crasher-complete-1",
+		UnitID: lr.Unit.ID, Epoch: lr.Unit.Epoch,
+		Report: core.UnitReport{Executions: 999999},
+	}, &cr)
+	if err == nil && !cr.Stale {
+		t.Fatal("stale completion from the dead worker was accepted")
+	}
+}
+
+// TestDistIdempotentRequests: the same request ID delivered twice (a
+// retry after a lost response, or a chaos duplicate) applies its effect
+// once; the duplicate gets the original response replayed.
+func TestDistIdempotentRequests(t *testing.T) {
+	check := core.Config{ContinueAfterBug: true}
+	c, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: fixture(4), Addr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTransport(c.Addr(), TransportConfig{})
+	snap := [][]byte{c.f.OutstandingSnapshots()[0]}
+
+	addedBefore, _ := c.f.UnitCounts()
+	var dr donateResponse
+	for i := 0; i < 3; i++ {
+		if err := tr.Call("/v1/donate", donateRequest{Worker: "w", ReqID: "dup-donate-1", Units: snap}, &dr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addedAfter, _ := c.f.UnitCounts()
+	if addedAfter != addedBefore+1 {
+		t.Fatalf("3 deliveries of one donate added %d units, want 1", addedAfter-addedBefore)
+	}
+
+	stop := make(chan struct{})
+	close(stop)
+	c.Wait(stop)
+}
+
+// TestDistCoordinatorCrashResume: a coordinator is "SIGKILLed" mid-run
+// — its server and frontier are torn down with no final checkpoint,
+// leaving only the last periodic write — and a fresh coordinator
+// resuming from that file finishes the exploration with a result
+// identical to an uninterrupted single-process run.
+func TestDistCoordinatorCrashResume(t *testing.T) {
+	check := core.Config{ContinueAfterBug: true}
+	prog := ccehProgram(10)
+	base, err := core.Run(check, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpPath := filepath.Join(t.TempDir(), "dist.cp")
+
+	c1, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: prog, Addr: "127.0.0.1:0",
+		CheckpointPath: cpPath, CheckpointInterval: time.Hour, // written by hand below
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A worker explores a strict prefix of the tree (MaxExecutions is a
+	// budget knob, not part of the exploration digest) and exits: its
+	// unexplored remainder flushes back to the frontier, giving the
+	// checkpoint real mid-run content — partial stats plus residue units.
+	wc := check
+	wc.MaxExecutions = 40
+	if _, err := RunWorker(WorkerConfig{
+		Check: wc, Program: prog,
+		Coordinator: c1.Addr(), Name: "partial",
+	}); err != nil {
+		t.Fatalf("partial worker: %v", err)
+	}
+	// Wait for the flush to land, then take the "periodic" checkpoint a
+	// real coordinator would have on disk.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, _, _, _, leased := c1.f.Progress(); leased == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flushed leases never resolved")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c1.writeCheckpoint(false); err != nil {
+		t.Fatal(err)
+	}
+	midExecs, _, _, _, _, _ := c1.f.Progress()
+	if midExecs <= 0 || midExecs >= base.Executions {
+		t.Fatalf("mid-run checkpoint covers %d of %d executions; wanted a strict middle", midExecs, base.Executions)
+	}
+	// SIGKILL: no Wait, no final checkpoint, no graceful anything.
+	c1.srv.Close()
+	close(c1.cpStop)
+	c1.f.Close()
+
+	c2, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: prog, Addr: "127.0.0.1:0",
+		CheckpointPath: cpPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		RunWorker(WorkerConfig{
+			Check: check, Program: prog,
+			Coordinator: c2.Addr(), Name: "finisher",
+		})
+	}()
+	res, err := c2.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("resumed run not marked Resumed")
+	}
+	assertParity(t, "crash-resume", res, base)
+}
+
+// TestDistChaosSweep: every network fault class at once — client-side
+// drops, delays, duplicates and partitions, server-side 5xx — and the
+// distributed run still matches the baseline exactly, with every work
+// unit accounted for (none lost, none double-counted) and the retries
+// surfaced in Stats.
+func TestDistChaosSweep(t *testing.T) {
+	check := core.Config{ContinueAfterBug: true}
+	prog := ccehProgram(16)
+	base, err := core.Run(check, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverInj := chaos.New(chaos.Config{Seed: 7, Net5xxPct: 25, MaxFaults: 500})
+	c, err := StartCoordinator(CoordinatorConfig{
+		Check: check, Program: prog, Addr: "127.0.0.1:0",
+		// Short enough that renewals run (they carry the coordinator's
+		// demand signal, which is what triggers donation splits), long
+		// enough that no live worker's lease lapses under injected
+		// delays — reclaim-under-fire is the abandoned-lease test's job.
+		LeaseTTL: 500 * time.Millisecond,
+		Chaos:    serverInj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	injs := make([]*chaos.Injector, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		injs[i] = chaos.New(chaos.Config{
+			Seed:            int64(100 + i),
+			NetDropPct:      25,
+			NetDelayPct:     25,
+			NetDelayDur:     time.Millisecond,
+			NetDupPct:       25,
+			NetPartitionPct: 3,
+			NetPartitionDur: 20 * time.Millisecond,
+			MaxFaults:       500,
+		})
+		go func(i int) {
+			defer wg.Done()
+			if _, err := RunWorker(WorkerConfig{
+				Check: check, Program: prog,
+				Coordinator: c.Addr(), Name: fmt.Sprintf("chaotic-%d", i),
+				Chaos:     injs[i],
+				Transport: TransportConfig{Attempts: 10, Backoff: time.Millisecond},
+			}); err != nil {
+				t.Errorf("chaotic worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	res, err := c.Wait(nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, "chaos", res, base)
+	added, done := c.f.UnitCounts()
+	if added != done {
+		t.Fatalf("%d units added but %d completed under chaos — work lost or duplicated", added, done)
+	}
+	faults := serverInj.Stats().Total()
+	for _, inj := range injs {
+		faults += inj.Stats().Total()
+	}
+	if faults == 0 {
+		t.Fatal("chaos sweep injected no faults; the run proved nothing")
+	}
+	t.Logf("chaos sweep: %d units, %d faults injected, %d rpc retries, %d reclaims, %d stale rejects",
+		added, faults, res.RPCRetries, res.LeaseReclaims, res.StaleCompletions)
+}
+
+// TestDistWorkerGivesUpOnDeadCoordinator: an idle RemoteFrontier whose
+// coordinator has vanished stops retrying after its give-up window
+// instead of hanging the process forever.
+func TestDistWorkerGivesUpOnDeadCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the 2s give-up floor")
+	}
+	tr := NewTransport("127.0.0.1:1", TransportConfig{Attempts: 1, Backoff: time.Millisecond, Timeout: 50 * time.Millisecond})
+	rf := NewRemoteFrontier(tr, "orphan", 100*time.Millisecond)
+	defer rf.Close()
+	start := time.Now()
+	u, err := rf.Lease(nil)
+	if u != nil || err != nil {
+		t.Fatalf("Lease = (%v, %v), want (nil, nil) give-up", u, err)
+	}
+	if d := time.Since(start); d < 2*time.Second || d > 30*time.Second {
+		t.Fatalf("gave up after %v; want a few seconds", d)
+	}
+}

@@ -28,6 +28,15 @@ const (
 	EvChaosFault
 	EvSteal
 	EvPark
+	// Distributed-exploration events: work-unit lease lifecycle on the
+	// coordinator (grant, renew, complete, reclaim-after-expiry, stale
+	// completion rejected) and transport retries on either side.
+	EvLeaseGrant
+	EvLeaseRenew
+	EvLeaseComplete
+	EvLeaseReclaim
+	EvLeaseStale
+	EvRPCRetry
 	numEventKinds
 )
 
@@ -61,6 +70,18 @@ func (k EventKind) String() string {
 		return "steal"
 	case EvPark:
 		return "park"
+	case EvLeaseGrant:
+		return "lease-grant"
+	case EvLeaseRenew:
+		return "lease-renew"
+	case EvLeaseComplete:
+		return "lease-complete"
+	case EvLeaseReclaim:
+		return "lease-reclaim"
+	case EvLeaseStale:
+		return "lease-stale"
+	case EvRPCRetry:
+		return "rpc-retry"
 	}
 	return "unknown"
 }

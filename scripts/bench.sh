@@ -9,10 +9,12 @@
 #
 # The JSON is a list of {benchmark, ns_op, b_op, allocs_op, metrics{}}
 # rows parsed from `go test -bench` output, plus a final PeakRSS row
-# with the bench process's peak resident set (VmHWM) and a
-# MetricsSnapshot row holding the observability registry's final counter
-# values from a real CLI run; the raw output is kept next to it as
-# BENCH_<date>.txt.
+# with the bench process's peak resident set (VmHWM), a MetricsSnapshot
+# row holding the observability registry's final counter values from a
+# real CLI run, and a DistributedSmoke row from a coordinator + two
+# workers exploring CCEH over HTTP; the raw output is kept next to it
+# as BENCH_<date>.txt. The PeakRSS row survives a failed or degraded
+# bench run — only the live rows need a working build.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,7 +46,11 @@ while kill -0 "$pid" 2>/dev/null; do
     [ -n "$rss" ] && peak="$rss"
     sleep 0.1
 done
-wait "$pid" || { cat "$txt"; exit 1; }
+# A failed or degraded bench run must still produce the JSON: the peak
+# RSS is already measured by now, and a partial row set beats losing the
+# file (the failure still fails the script, after the write).
+status=0
+wait "$pid" || status=$?
 cat "$txt"
 
 # Convert the benchmark lines to JSON. Format of a line:
@@ -78,16 +84,63 @@ END {
 }
 ' "$txt" > "$json"
 
-# Append a live metrics snapshot from a real CLI run — the same counters
-# /metrics would serve, captured via -metrics-snapshot — then close the
-# JSON array the awk program left open.
-snap="$(mktemp "${TMPDIR:-/tmp}/cxlmc-snap.XXXXXX")"
-trap 'rm -f "$bin" "$snap"' EXIT
-go run ./cmd/cxlmc -bench CCEH -max-execs 2000 -workers 2 -metrics-snapshot "$snap" > /dev/null
-{
-    printf ',\n  {"benchmark":"MetricsSnapshot","metrics":'
-    tr -d '\n ' < "$snap"
-    printf '}\n]\n'
-} >> "$json"
+# The live rows below need a working build; on a failed bench run just
+# close the array so the JSON (with its PeakRSS row) stays well-formed.
+if [ "$status" -eq 0 ]; then
+    cli="$(mktemp "${TMPDIR:-/tmp}/cxlmc-cli.XXXXXX")"
+    snap="$(mktemp "${TMPDIR:-/tmp}/cxlmc-snap.XXXXXX")"
+    dout="$(mktemp "${TMPDIR:-/tmp}/cxlmc-dout.XXXXXX")"
+    derr="$(mktemp "${TMPDIR:-/tmp}/cxlmc-derr.XXXXXX")"
+    trap 'rm -f "$bin" "$cli" "$snap" "$dout" "$derr"' EXIT
+    go build -o "$cli" ./cmd/cxlmc
+
+    # A live metrics snapshot from a real CLI run — the same counters
+    # /metrics would serve, captured via -metrics-snapshot.
+    "$cli" -bench CCEH -max-execs 2000 -workers 2 -metrics-snapshot "$snap" > /dev/null
+    {
+        printf ',\n  {"benchmark":"MetricsSnapshot","metrics":'
+        tr -d '\n ' < "$snap"
+        printf '}'
+    } >> "$json"
+
+    # Distributed mode: a coordinator and two joined workers on the
+    # Table 5 CCEH benchmark. The row records the coordinator's global
+    # result — executions plus the lease/RPC resilience counters.
+    "$cli" -bench CCEH -bugs 0x1 -continue -serve 127.0.0.1:0 > "$dout" 2> "$derr" &
+    cpid=$!
+    addr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        addr="$(sed -n 's/^cxlmc: coordinator serving the frontier on \([^ ]*\).*/\1/p' "$derr")"
+        [ -n "$addr" ] && break
+        kill -0 "$cpid" 2>/dev/null || break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    if [ -n "$addr" ]; then
+        "$cli" -bench CCEH -bugs 0x1 -continue -join "$addr" > /dev/null 2>&1 &
+        w1=$!
+        "$cli" -bench CCEH -bugs 0x1 -continue -join "$addr" > /dev/null 2>&1 &
+        w2=$!
+        # Exit 1 means bugs found — expected with the seeded bug.
+        wait "$w1" 2>/dev/null || true
+        wait "$w2" 2>/dev/null || true
+        wait "$cpid" 2>/dev/null || true
+        dist_execs="$(awk '/^executions/{print $2}' "$dout")"
+        dist_counters="$(sed -n 's/^dist  *reclaims=\([0-9]*\) rpc-retries=\([0-9]*\) stale-completions=\([0-9]*\).*/"lease_reclaims":\1,"rpc_retries":\2,"stale_completions":\3/p' "$dout")"
+        if [ -n "$dist_execs" ] && [ -n "$dist_counters" ]; then
+            printf ',\n  {"benchmark":"DistributedSmoke","metrics":{"executions":%s,%s}}' \
+                "$dist_execs" "$dist_counters" >> "$json"
+        else
+            kill "$cpid" 2>/dev/null || true
+            echo "warning: distributed smoke produced no parseable result; row skipped" >&2
+        fi
+    else
+        kill "$cpid" 2>/dev/null || true
+        echo "warning: coordinator never reported its address; DistributedSmoke row skipped" >&2
+    fi
+fi
+printf '\n]\n' >> "$json"
 
 echo "wrote $txt and $json (peak RSS ${peak} kB)"
+exit "$status"
