@@ -13,6 +13,7 @@ package cxlmc_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	cxlmc "repro"
@@ -33,9 +34,24 @@ func exploreOnce(b *testing.B, cfg cxlmc.Config, prog func(*cxlmc.Program)) {
 		}
 		last = res
 	}
-	b.ReportMetric(float64(last.Executions), "execs")
+	b.ReportMetric(float64(last.Executions), "execs-per-exploration")
 	b.ReportMetric(float64(last.FailurePoints), "fpoints")
 	b.ReportMetric(float64(last.ReadFromPoints), "rfpoints")
+	b.ReportMetric(float64(last.StepsSaved), "steps-saved")
+}
+
+// explorationAllocs measures the heap allocations of one full exploration
+// (all goroutines, via the runtime's global malloc counter).
+func explorationAllocs(b *testing.B, cfg cxlmc.Config, prog func(*cxlmc.Program)) uint64 {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := cxlmc.Run(cfg, prog); err != nil {
+		b.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
 }
 
 // --- Table 1: Px86_sim ordering machinery -------------------------------
@@ -192,6 +208,15 @@ func BenchmarkTable5(b *testing.B) {
 			})
 		}
 	}
+	// The algorithmic-win comparison row: CCEH with state-space reduction
+	// and prefix-fork replay disabled. BENCH_*.json then records the
+	// unreduced exec count next to the reduced CCEH row above, so the
+	// reduction's effect is a tracked metric rather than a one-off
+	// measurement.
+	b.Run("CCEH_ReductionOff", func(b *testing.B) {
+		cfg := cxlmc.Config{Reduction: cxlmc.SwitchOff, PrefixFork: cxlmc.SwitchOff}
+		exploreOnce(b, cfg, recipe.Program(harness.Benchmarks[0], harness.Table5Config()))
+	})
 }
 
 // --- Parallel scaling -----------------------------------------------------
@@ -200,14 +225,45 @@ func BenchmarkTable5(b *testing.B) {
 // Table 5 exploration. The explored execution set is identical at every
 // worker count (the parity tests assert it), so ns/op differences are
 // pure scheduling: ideally ns/op shrinks with workers up to the core
-// count, and the execs metric stays flat.
+// count, and the execs-per-exploration metric stays flat. The benchmark
+// also asserts allocation parity across worker counts — see the comment
+// on the check below.
 func BenchmarkParallelScaling(b *testing.B) {
 	prog := recipe.Program(harness.Benchmarks[5], harness.Table5Config()) // P-MassTree
-	for _, workers := range []int{1, 2, 4, 8} {
+	workerCounts := []int{1, 2, 4, 8}
+	allocs := make(map[int]uint64, len(workerCounts))
+	for _, workers := range workerCounts {
 		workers := workers
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			exploreOnce(b, cxlmc.Config{Workers: workers}, prog)
+			allocs[workers] = explorationAllocs(b, cxlmc.Config{Workers: workers}, prog)
+			b.ReportMetric(float64(allocs[workers]), "allocs-per-exploration")
 		})
+	}
+	// Allocs parity: identical work must not allocate materially more as
+	// workers scale. Each extra worker legitimately pays a fixed
+	// first-execution cost — its private checker arena (machines, threads,
+	// buffers; profiled at under two hundred allocations per worker on
+	// this workload) — so the limit grants a per-worker allowance plus 5%
+	// of the serial total. What the check catches is per-execution or
+	// per-steal churn that scales with the worker count, which multiplies
+	// across the whole exploration and blows straight through the slack.
+	// (Entries can be missing when -bench filters to a single sub-
+	// benchmark; the check runs only on what actually ran.)
+	base, ok := allocs[workerCounts[0]]
+	if !ok {
+		return
+	}
+	for _, workers := range workerCounts[1:] {
+		a, ok := allocs[workers]
+		if !ok {
+			continue
+		}
+		limit := base + base/20 + uint64(workers)*500
+		if a > limit {
+			b.Errorf("allocs grew with worker count: workers=%d allocated %d in one exploration vs %d serial (limit %d)",
+				workers, a, base, limit)
+		}
 	}
 }
 

@@ -22,7 +22,16 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table to regenerate: 3, 4, 5 or all")
 	seed := flag.Int64("seed", 0, "schedule seed")
+	reduction := flag.String("reduction", "on", "state-space reduction + prefix-fork replay for Table 5: on|off (off reproduces the unreduced exploration the paper reports)")
 	flag.Parse()
+	redSw := cxlmc.SwitchOn
+	switch *reduction {
+	case "on", "":
+	case "off":
+		redSw = cxlmc.SwitchOff
+	default:
+		fatal(fmt.Errorf("-reduction must be on or off, got %q", *reduction))
+	}
 
 	ok := true
 	if *table == "3" || *table == "all" {
@@ -51,7 +60,7 @@ func main() {
 	}
 	if *table == "5" || *table == "all" {
 		fmt.Println("== Table 5: performance results (fixed benchmarks, 2 machines × 2 threads, 10 keys) ==")
-		rows, err := harness.RunTable5(*seed)
+		rows, err := harness.RunTable5Reduction(*seed, redSw)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,6 +10,7 @@
 //	      [-checkpoint file] [-checkpoint-every N] [-checkpoint-interval d]
 //	      [-wedge-timeout d] [-replay token]
 //	      [-mem-budget bytes] [-spill-dir dir] [-max-events N]
+//	      [-reduction on|off] [-prefix-fork on|off]
 //	      [-chaos] [-chaos-seed N]
 //	      [-metrics-addr host:port] [-progress d] [-event-log file]
 //	      [-metrics-snapshot file]
@@ -40,6 +41,15 @@
 // checkpoint instead of OOMing. -max-events bounds the decision points
 // one execution may create, turning per-execution state-space blowup
 // into a structured resource-exhausted bug report.
+//
+// Algorithmic reduction: -reduction (default on) prunes failure
+// decision points no surviving thread could ever observe, exploring
+// fewer executions with a provably identical bug set; -prefix-fork
+// (default on) resumes each execution from the decision prefix it
+// shares with its predecessor instead of re-running it. Both are pure
+// optimizations; -reduction=off -prefix-fork=off restores the
+// exhaustive baseline (repro tokens record the -reduction setting and
+// replay under the same setting).
 //
 // Observability: -metrics-addr serves /metrics (Prometheus text),
 // /statusz (JSON run status) and /debug/pprof for the duration of the
@@ -128,6 +138,8 @@ func run() int {
 		memBudget  = flag.Uint64("mem-budget", 0, "soft heap budget in bytes; over it the run degrades gracefully instead of OOMing (0 = off)")
 		spillDir   = flag.String("spill-dir", "", "directory the governor may spill cold frontier units to under memory pressure")
 		maxEvents  = flag.Int("max-events", 0, "cap on decision points per execution; exceeding it is reported as a resource-exhausted bug (0 = off)")
+	reduction  = flag.String("reduction", "on", "state-space reduction: prune failure points no surviving thread can observe (on|off)")
+	prefixFork = flag.String("prefix-fork", "on", "prefix-fork replay: resume sibling executions from the shared decision prefix instead of re-running it (on|off)")
 		chaosOn    = flag.Bool("chaos", false, "inject seeded faults into checkpoint I/O and worker scheduling (with -stress: add the resume-under-chaos leg)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 		stress     = flag.Int("stress", 0, "self-fuzz N seeded random programs (starting at -seed) instead of running a benchmark")
@@ -190,6 +202,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cxlmc: bad -bugs %q: %v\n", *bugsFlag, err)
 		return 2
 	}
+	parseSwitch := func(name, v string) (cxlmc.Switch, bool) {
+		switch v {
+		case "on", "":
+			return cxlmc.SwitchOn, true
+		case "off":
+			return cxlmc.SwitchOff, true
+		}
+		fmt.Fprintf(os.Stderr, "cxlmc: bad -%s %q: want on or off\n", name, v)
+		return cxlmc.SwitchDefault, false
+	}
+	reductionSw, ok := parseSwitch("reduction", *reduction)
+	if !ok {
+		return 2
+	}
+	prefixForkSw, ok := parseSwitch("prefix-fork", *prefixFork)
+	if !ok {
+		return 2
+	}
 
 	cfg := cxlmc.Config{
 		Seed: *seed, GPF: *gpf, Poison: *poison, Workers: *checkers,
@@ -197,6 +227,7 @@ func run() int {
 		CheckpointPath: *checkpoint, CheckpointEvery: *cpEvery, CheckpointInterval: *cpInterval,
 		WedgeTimeout:   *wedge,
 		MemBudgetBytes: *memBudget, SpillDir: *spillDir, MaxEventsPerExec: *maxEvents,
+		Reduction: reductionSw, PrefixFork: prefixForkSw,
 	}
 	if *trace {
 		cfg.Trace = os.Stdout
@@ -380,6 +411,10 @@ func run() int {
 		fmt.Printf("executions  %d (complete=%v)\n", res.Executions, res.Complete)
 		fmt.Printf("fpoints     %d\n", res.FailurePoints)
 		fmt.Printf("rfpoints    %d\n", res.ReadFromPoints)
+		if res.Pruned > 0 || res.PrefixForks > 0 {
+			fmt.Printf("reduction   pruned=%d prefix-forks=%d steps-saved=%d\n",
+				res.Pruned, res.PrefixForks, res.StepsSaved)
+		}
 		fmt.Printf("time        %v\n", res.Elapsed)
 		if res.Resumed {
 			fmt.Println("resumed     from checkpoint")

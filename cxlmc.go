@@ -68,6 +68,21 @@ import (
 // defaults (seed 0, no GPF, no poisoning, full exploration).
 type Config = core.Config
 
+// Switch is a three-valued on/off knob whose zero value means "use the
+// default" — used by Config.Reduction and Config.PrefixFork, both of
+// which default to on.
+type Switch = core.Switch
+
+// Switch values.
+const (
+	// SwitchDefault picks the knob's documented default.
+	SwitchDefault = core.SwitchDefault
+	// SwitchOn enables the feature explicitly.
+	SwitchOn = core.SwitchOn
+	// SwitchOff disables the feature.
+	SwitchOff = core.SwitchOff
+)
+
 // Program describes one execution of the checked program during setup.
 type Program = core.Program
 

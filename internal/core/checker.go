@@ -82,6 +82,66 @@ type Checker struct {
 	commitBuf   []commitTarget
 	readCtx     memmodel.ReadContext
 	readIter    memmodel.CandidateIter
+
+	// stepNo is the current execution's scheduler step counter (1-based
+	// inside the loop); shared by the livelock check, the prefix-fork
+	// step map and the reduction headroom proof.
+	stepNo int
+
+	// State-space reduction (Config.Reduction). reduce caches the
+	// resolved switch; the fbChain flags hold the flush-chain subsumption
+	// window while drainFB runs (see pruneFailurePoint).
+	reduce         bool
+	fbChain        bool
+	fbChainDecided bool
+
+	// Prefix-fork fast replay (Config.PrefixFork). While forkEnabled,
+	// every execution records its steps (stepLog), resolved read-from
+	// candidates (loadLog) and the scheduler step of each decision depth
+	// (pathStep). After a backtrack, armFork translates the pending
+	// decision's depth into the step the next execution first diverges
+	// at (forkStep); the next execution replays everything before it
+	// from the logs — skipping the thread/buffer scans and the per-load
+	// candidate search — and switches to live execution there. forkOK
+	// marks the logs as describing the previous execution completely;
+	// unit adoption, dirty resets and strict replay clear it.
+	forkEnabled bool
+	forkOK      bool
+	forkStep    int
+	fast        bool
+	stepLog     []stepRec
+	loadLog     []loadRec
+	loadPos     int
+	pathStep    []int
+}
+
+// stepRec is one recorded scheduler step: what the step did and the RNG
+// draws that selected it, so the fast path can validate that its RNG
+// stream stays aligned with the recording execution's.
+type stepRec struct {
+	op     uint8 // opGrant, opCommitSB, opCommitFB
+	chance bool  // a commit-chance draw preceded the selection
+	pickN  int32 // size of the candidate list the selection drew from
+	pick   int32 // result of that Intn draw
+	thread int32 // index into ck.threads
+}
+
+// Recorded step operations.
+const (
+	opGrant uint8 = iota
+	opCommitSB
+	opCommitFB
+)
+
+// loadRec is one recorded non-bypass load byte: the candidate the lazy
+// search resolved and how many read-from decision points the search
+// consumed. The fast path skips the search, fast-forwards the decision
+// cursor past the chain, and re-applies the constraint refinement live —
+// ApplyReadConstraint is deterministic given the candidate, so no
+// memory-model state needs snapshotting.
+type loadRec struct {
+	c     memmodel.Candidate
+	chain int32
 }
 
 // Run explores the program under cfg and returns the aggregated result.
@@ -230,14 +290,45 @@ func (ck *Checker) runExecutionLoop() {
 	ck.resetExecution()
 	defer ck.sch.Teardown()
 
-	steps := 0
+	ck.reduce = ck.cfg.reductionOn()
+	ck.forkEnabled = ck.cfg.prefixForkOn() && !ck.replaying
+
+	// Prefix-fork: adopt the armed fast-replay boundary, if any. The
+	// logs stay untouched while fast — they ARE the prefix — and are
+	// truncated to the consumed prefix at the fork point; without a fork
+	// they restart empty.
+	fastUntil := 0
+	if ck.forkOK && ck.forkStep > 1 && ck.forkEnabled && !ck.dirty {
+		fastUntil = ck.forkStep
+		if fastUntil-1 > len(ck.stepLog) {
+			internalPanic("prefix-fork: step log shorter than the armed fork point")
+		}
+		ck.fast = true
+		ck.stats.PrefixForks++
+		ck.om.prefixForks.Inc()
+	} else {
+		ck.stepLog = ck.stepLog[:0]
+		ck.loadLog = ck.loadLog[:0]
+	}
+	ck.forkStep = 0
+	ck.forkOK = false
+	ck.loadPos = 0
+	ck.stepNo = 0
+	defer func() {
+		// The logs now describe this execution end-to-end (recording is
+		// unconditional while forkEnabled), unless a watchdog abandoned a
+		// thread mid-step and poisoned the state.
+		ck.fast = false
+		ck.forkOK = ck.forkEnabled && !ck.dirty
+	}()
+
 	// timedOut also ends the loop: after the grant watchdog abandons a
 	// thread on deadline expiry, granting again would block forever on the
 	// abandoned thread's resume channel.
 	for !ck.aborted && !ck.timedOut {
-		steps++
+		ck.stepNo++
 		ck.stats.Steps++
-		if steps > ck.cfg.MaxStepsPerExec {
+		if ck.stepNo > ck.cfg.MaxStepsPerExec {
 			ck.reportBug(BugLivelock, fmt.Sprintf("step limit exceeded (%d): livelock in checked program?", ck.cfg.MaxStepsPerExec), nil)
 			return
 		}
@@ -251,13 +342,28 @@ func (ck *Checker) runExecutionLoop() {
 		}
 		// Honor MaxTime mid-execution, at step granularity; the check is
 		// throttled so the hot loop does not pay a clock read per step.
-		if !ck.deadline.IsZero() && steps&1023 == 0 && time.Now().After(ck.deadline) {
+		if !ck.deadline.IsZero() && ck.stepNo&1023 == 0 && time.Now().After(ck.deadline) {
 			ck.timedOut = true
 			return
 		}
 
+		if ck.fast {
+			if ck.stepNo < fastUntil {
+				ck.replayStep(ck.stepLog[ck.stepNo-1])
+				ck.stats.StepsSaved++
+				continue
+			}
+			// Fork point reached: drop the log suffix belonging to the
+			// previous execution and record live from here on.
+			ck.fast = false
+			ck.stepLog = ck.stepLog[:fastUntil-1]
+			ck.loadLog = ck.loadLog[:ck.loadPos]
+			ck.om.stepsSaved.Add(int64(fastUntil - 1))
+		}
+
 		runnable := ck.runnableThreads()
 		committable := ck.committableBuffers()
+		var chance, commit bool
 		switch {
 		case len(runnable) == 0 && len(committable) == 0:
 			if blocked := ck.liveBlockedThreads(); len(blocked) > 0 {
@@ -269,17 +375,109 @@ func (ck *Checker) runExecutionLoop() {
 			}
 			return
 		case len(runnable) == 0:
-			ck.commitOne(committable)
+			commit = true
 		case len(committable) == 0:
-			ck.grantOne(runnable)
+			commit = false
 		default:
-			if ck.rng.Intn(100) < ck.cfg.CommitChance {
-				ck.commitOne(committable)
-			} else {
-				ck.grantOne(runnable)
+			chance = true
+			commit = ck.rng.Intn(100) < ck.cfg.CommitChance
+		}
+		if commit {
+			i := ck.rng.Intn(len(committable))
+			c := committable[i]
+			if ck.forkEnabled {
+				op := opCommitSB
+				if c.fb {
+					op = opCommitFB
+				}
+				ck.stepLog = append(ck.stepLog, stepRec{
+					op: op, chance: chance, pickN: int32(len(committable)), pick: int32(i),
+					thread: int32(c.t.st.ID),
+				})
 			}
+			ck.commitTo(c)
+		} else {
+			i := ck.rng.Intn(len(runnable))
+			t := runnable[i]
+			if ck.forkEnabled {
+				ck.stepLog = append(ck.stepLog, stepRec{
+					op: opGrant, chance: chance, pickN: int32(len(runnable)), pick: int32(i),
+					thread: int32(t.st.ID),
+				})
+			}
+			ck.grantTo(t)
 		}
 	}
+}
+
+// replayStep re-executes one recorded scheduler step on the fast path:
+// the RNG draws are reproduced and validated against the recording (the
+// streams must be identical or the prefix property is broken), the
+// thread/buffer scans are skipped, and the step's effect — a grant or a
+// commit — runs fully live, so every memory-model mutation, failure
+// injection and pruning decision is recomputed exactly as recorded.
+func (ck *Checker) replayStep(rec stepRec) {
+	if rec.chance {
+		commit := ck.rng.Intn(100) < ck.cfg.CommitChance
+		if commit != (rec.op != opGrant) {
+			internalPanic("prefix-fork: commit-chance draw diverged from the recorded prefix")
+		}
+	}
+	if int32(ck.rng.Intn(int(rec.pickN))) != rec.pick {
+		internalPanic("prefix-fork: selection draw diverged from the recorded prefix")
+	}
+	if int(rec.thread) >= len(ck.threads) {
+		internalPanic("prefix-fork: recorded thread index out of range")
+	}
+	t := ck.threads[rec.thread]
+	switch rec.op {
+	case opGrant:
+		ck.grantTo(t)
+	default:
+		ck.commitTo(commitTarget{t: t, fb: rec.op == opCommitFB})
+	}
+}
+
+// choose resolves a decision point through the tree, recording the
+// scheduler step each decision depth occurred at — the map armFork uses
+// to translate the pending decision into a fast-replay boundary.
+func (ck *Checker) choose(kind decision.Kind, n int) int {
+	d := ck.tree.Depth()
+	r := ck.tree.Choose(kind, n)
+	if ck.forkEnabled {
+		if d < len(ck.pathStep) {
+			ck.pathStep[d] = ck.stepNo
+		} else {
+			ck.pathStep = append(ck.pathStep, ck.stepNo)
+		}
+	}
+	return r
+}
+
+// armFork arms the prefix-fork fast path for the next execution. Called
+// at the execution boundary right after Advance moved the deepest
+// pending decision to its next branch: every scheduler step before that
+// decision's step replays identically, so the next execution may replay
+// the logged prefix instead of re-deriving it. A no-op when the logs do
+// not describe the previous execution (fresh or adopted unit, dirty
+// state, feature off).
+func (ck *Checker) armFork() {
+	if !ck.forkOK {
+		return
+	}
+	d := ck.tree.PendingDepth()
+	if d < 0 || d >= len(ck.pathStep) {
+		return
+	}
+	ck.forkStep = ck.pathStep[d]
+}
+
+// invalidateFork drops the fork logs' claim to describe the next
+// execution's prefix — required whenever the checker switches to a
+// different decision tree (unit adoption, lease adoption).
+func (ck *Checker) invalidateFork() {
+	ck.forkOK = false
+	ck.forkStep = 0
 }
 
 // runnableThreads returns live, runnable simulated threads in creation
@@ -335,13 +533,11 @@ func (ck *Checker) committableBuffers() []commitTarget {
 	return out
 }
 
-// grantOne hands the baton to a seeded-random runnable thread, then
-// processes completion wakeups. When a watchdog budget applies, a thread
-// that fails to yield in time is abandoned: either it wedged (blocked
-// outside the simulated API — reported as a bug) or the run's deadline
-// expired while it ran.
-func (ck *Checker) grantOne(runnable []*Thread) {
-	t := runnable[ck.rng.Intn(len(runnable))]
+// grantTo hands the baton to t, then processes completion wakeups. When
+// a watchdog budget applies, a thread that fails to yield in time is
+// abandoned: either it wedged (blocked outside the simulated API —
+// reported as a bug) or the run's deadline expired while it ran.
+func (ck *Checker) grantTo(t *Thread) {
 	ck.current = t
 	if d, isWedgeBudget := ck.grantBudget(); d > 0 {
 		if !ck.sch.GrantTimeout(t.st, d) {
@@ -385,9 +581,8 @@ func (ck *Checker) grantBudget() (time.Duration, bool) {
 	return m, false
 }
 
-// commitOne commits one buffer head chosen by the seeded schedule.
-func (ck *Checker) commitOne(cands []commitTarget) {
-	c := cands[ck.rng.Intn(len(cands))]
+// commitTo commits buffer head c.
+func (ck *Checker) commitTo(c commitTarget) {
 	if c.fb {
 		ck.commitFBHead(c.t)
 	} else {

@@ -63,6 +63,13 @@ type checkpointData struct {
 	CheckpointErrors int   `json:"checkpoint_errors,omitempty"`
 	Quarantined      bool  `json:"quarantined,omitempty"`
 	Bugs             []Bug `json:"bugs,omitempty"`
+	// Cumulative reduction/prefix-fork counters, same omitempty contract
+	// as the resilience counters above. Eligibility itself is never
+	// serialized: pruning is recomputed deterministically during unit
+	// replay and fork logs are rebuilt once per adopted unit.
+	Pruned      int64 `json:"pruned,omitempty"`
+	PrefixForks int64 `json:"prefix_forks,omitempty"`
+	StepsSaved  int64 `json:"steps_saved,omitempty"`
 }
 
 // numDecisionKinds is the number of decision.Kind values (read-from,
@@ -76,13 +83,17 @@ const numDecisionKinds = 3
 // the chaos that interrupted the original run — is the point of
 // checkpoints. MaxEventsPerExec is included because, like
 // MaxStepsPerExec, it prunes the tree and therefore changes what a
-// checkpoint or repro token means. The seed is checked separately for a
-// clearer error message.
+// checkpoint or repro token means. Reduction is included for the same
+// reason: a reduced tree has fewer failure nodes, so a path recorded in
+// one mode could silently consume a wrong node in the other. PrefixFork
+// is deliberately excluded — it replays the identical executions, just
+// cheaper, so tokens and checkpoints are portable across its settings.
+// The seed is checked separately for a clearer error message.
 func configDigest(cfg Config) string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"cxlmc-config-v2 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t maxevents=%d",
+		"cxlmc-config-v3 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t maxevents=%d reduction=%t",
 		cfg.GPF, cfg.Poison, cfg.MaxStepsPerExec, cfg.MemSize, cfg.CommitChance, cfg.EagerReadSet,
-		cfg.MaxEventsPerExec)))
+		cfg.MaxEventsPerExec, cfg.reductionOn())))
 	return hex.EncodeToString(h[:8])
 }
 

@@ -35,6 +35,31 @@ type Addr = memmodel.Addr
 // MachineID identifies a simulated compute node.
 type MachineID = memmodel.MachineID
 
+// Switch is a three-state feature toggle whose zero value means "use the
+// feature's default". Features that are on by default stay controllable
+// from a zero-valued Config without inverting the field's meaning.
+type Switch uint8
+
+// Switch states.
+const (
+	// SwitchDefault takes the feature's documented default.
+	SwitchDefault Switch = iota
+	// SwitchOn enables the feature explicitly.
+	SwitchOn
+	// SwitchOff disables the feature explicitly.
+	SwitchOff
+)
+
+func (s Switch) String() string {
+	switch s {
+	case SwitchOn:
+		return "on"
+	case SwitchOff:
+		return "off"
+	}
+	return "default"
+}
+
 // Config controls a model-checking run.
 type Config struct {
 	// Seed fixes the thread schedule and store-buffer commit timing.
@@ -254,6 +279,47 @@ type Config struct {
 	// without stopping the run. cmd/cxlmc wires SIGUSR1 here.
 	StatusRequests <-chan struct{}
 
+	// Reduction controls state-space reduction (default on): decision
+	// points whose alternative branch provably cannot change the bug set
+	// are skipped before being created, in the spirit of sleep-set/
+	// persistent-set partial-order reduction adapted to the relaxed
+	// crash-consistency model. Two rules apply, both conservative:
+	//
+	//   - observer-free failures: a failure-injection point is skipped
+	//     when every thread outside the flushing machine has already
+	//     finished or belongs to a failed machine — the failure branch
+	//     would kill all remaining live threads, so no load, assertion,
+	//     deadlock or poison check can ever observe it;
+	//   - flush-chain subsumption: when one scheduler step synchronously
+	//     drains a flush buffer, only the first constraint-narrowing
+	//     writeback gets a failure point — failing at a later entry loses
+	//     a subset of the state failing at the first one loses.
+	//
+	// Read-from decisions stay exhaustive, so the explored bug set is
+	// identical with reduction on or off (the parity suite and the stress
+	// fuzzer assert it). Reduction changes the decision-tree shape, so it
+	// participates in the checkpoint/repro-token configuration digest:
+	// a token or checkpoint records which mode produced it and refuses to
+	// replay or resume under the other, rather than silently consuming
+	// mismatched decision nodes.
+	Reduction Switch
+
+	// PrefixFork controls prefix-fork incremental replay (default on):
+	// sibling executions share their decision prefix up to the deepest
+	// backtrack point, so instead of re-deriving every scheduler choice
+	// from scratch, the checker logs each step's effect during the
+	// previous execution and fast-replays the shared prefix from the log
+	// — skipping the runnable/committable scans and the per-load
+	// candidate search, while still applying every memory-model mutation
+	// deterministically. The executions themselves are bit-identical
+	// (the fast path validates the RNG stream and decision cursor as it
+	// goes), so PrefixFork is pure performance and deliberately excluded
+	// from the configuration digest — unlike Reduction it cannot change
+	// the tree shape. Strict Replay, Poison mode and event tracing fall
+	// back to full re-execution. Saved work is visible as
+	// Stats.PrefixForks/StepsSaved.
+	PrefixFork Switch
+
 	// Frontier, when non-nil, turns the run into a distributed worker:
 	// instead of seeding a fresh decision tree, the engine leases subtree
 	// work units from the frontier, explores them with its local worker
@@ -297,6 +363,23 @@ func (c *Config) fillDefaults() {
 	if c.Trace != nil {
 		c.Workers = 1
 	}
+	if c.Reduction == SwitchDefault {
+		c.Reduction = SwitchOn
+	}
+	if c.PrefixFork == SwitchDefault {
+		c.PrefixFork = SwitchOn
+	}
+}
+
+// reductionOn reports whether state-space reduction is enabled (after
+// fillDefaults resolved the Switch).
+func (c *Config) reductionOn() bool { return c.Reduction != SwitchOff }
+
+// prefixForkOn reports whether prefix-fork fast replay may be used.
+// Poison mode mutates constraints during the load path's poison check,
+// and tracing wants every event re-emitted, so both force full replay.
+func (c *Config) prefixForkOn() bool {
+	return c.PrefixFork != SwitchOff && !c.Poison && c.Trace == nil && !c.CaptureTrace
 }
 
 // BugKind classifies a reported bug.
@@ -391,7 +474,20 @@ type Stats struct {
 	// PoisonPoints is the number of poison decision points created.
 	PoisonPoints int
 	// Steps is the total number of scheduler steps across all executions.
+	// Steps replayed through the prefix-fork fast path count normally —
+	// they are real simulated steps, merely executed cheaper — so Steps
+	// is invariant across worker counts and PrefixFork settings.
 	Steps int64
+	// Pruned counts decision points skipped by state-space reduction
+	// (Config.Reduction): each one is a subtree proven incapable of
+	// changing the bug set, and for failure points, one execution saved.
+	Pruned int64
+	// PrefixForks counts executions that resumed from a shared decision
+	// prefix via the fast-replay path instead of re-running it in full.
+	PrefixForks int64
+	// StepsSaved counts scheduler steps that went through the prefix-fork
+	// fast path — steps whose scans and candidate searches were skipped.
+	StepsSaved int64
 	// Elapsed is the wall-clock time of the whole exploration.
 	Elapsed time.Duration
 	// Complete reports whether the decision tree was fully explored

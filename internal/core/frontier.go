@@ -56,7 +56,12 @@ type LeasedUnit struct {
 type UnitReport struct {
 	Executions int
 	Steps      int64
-	Created    [NumDecisionKinds]int
+	// Pruned/PrefixForks/StepsSaved are the worker's state-space
+	// reduction and prefix-fork replay deltas (see Stats).
+	Pruned      int64
+	PrefixForks int64
+	StepsSaved  int64
+	Created     [NumDecisionKinds]int
 	// Bugs are the distinct bugs found since the previous report, with
 	// repro tokens attached. The frontier deduplicates globally.
 	Bugs []Bug
@@ -150,6 +155,9 @@ type MemFrontier struct {
 	// Accumulated results from completion reports.
 	execs        int
 	steps        int64
+	pruned       int64
+	prefixForks  int64
+	stepsSaved   int64
 	created      [NumDecisionKinds]int
 	bugs         []Bug
 	seen         map[string]bool
@@ -334,6 +342,9 @@ func (f *MemFrontier) CompleteReport(id, epoch uint64, rep UnitReport) (stale bo
 	f.unitsDone++
 	f.execs += rep.Executions
 	f.steps += rep.Steps
+	f.pruned += rep.Pruned
+	f.prefixForks += rep.PrefixForks
+	f.stepsSaved += rep.StepsSaved
 	for i, c := range rep.Created {
 		f.created[i] += c
 	}
@@ -415,6 +426,15 @@ func (f *MemFrontier) Progress() (execs int, steps int64, created [NumDecisionKi
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.execs, f.steps, f.created, append([]Bug(nil), f.bugs...), len(f.queue), len(f.leased)
+}
+
+// ReductionTotals returns the accumulated state-space reduction and
+// prefix-fork counters from completion reports; the distributed
+// coordinator folds them into its final Stats.
+func (f *MemFrontier) ReductionTotals() (pruned, prefixForks, stepsSaved int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pruned, f.prefixForks, f.stepsSaved
 }
 
 // UnitCounts returns how many units were ever added and how many were

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/decision"
 	"repro/internal/memmodel"
+	"repro/internal/sched"
 )
 
 // This file contains the checker-side memory machinery: committing buffer
@@ -57,8 +58,13 @@ func (ck *Checker) commitFBHead(t *Thread) {
 
 // drainFB empties t's flush buffer (sfence/mfence semantics). If a
 // failure is injected mid-drain in scheduler context the machine's
-// buffers are already discarded and the loop ends.
+// buffers are already discarded and the loop ends. The whole drain runs
+// inside one scheduler step, which is what makes the flush-chain
+// subsumption window sound (see pruneFailurePoint); the deferred reset
+// also covers the failure branch unwinding the current thread mid-drain.
 func (ck *Checker) drainFB(t *Thread) {
+	ck.fbChain = true
+	defer func() { ck.fbChain = false; ck.fbChainDecided = false }()
 	for len(t.tb.FB) > 0 && !t.mach.failed {
 		ck.commitFBHead(t)
 	}
@@ -68,9 +74,11 @@ func (ck *Checker) drainFB(t *Thread) {
 // Algorithm 5 line 16: when a flush would raise a cache-line constraint
 // Begin past a store from a live machine — reducing the set of possible
 // post-failure load results — the checker explores both committing the
-// flush and failing the machine instead. Returns true when the flush must
-// not be applied (machine failed). If t is the currently running thread,
-// the failure branch unwinds it and does not return.
+// flush and failing the machine instead. With reduction on, decision
+// points whose failure branch provably cannot change the bug set are
+// skipped before being created. Returns true when the flush must not be
+// applied (machine failed). If t is the currently running thread, the
+// failure branch unwinds it and does not return.
 func (ck *Checker) maybeInjectFailure(t *Thread, eff memmodel.FlushEffect) bool {
 	if t.mach.failed {
 		return true
@@ -78,11 +86,69 @@ func (ck *Checker) maybeInjectFailure(t *Thread, eff memmodel.FlushEffect) bool 
 	if !ck.mem.CrossesLiveStore(eff) {
 		return false
 	}
-	if ck.tree.Choose(decision.KindFailure, 2) == 1 {
+	if ck.reduce && ck.pruneFailurePoint(t) {
+		ck.stats.Pruned++
+		ck.om.pruned.Inc()
+		return false
+	}
+	if ck.choose(decision.KindFailure, 2) == 1 {
 		ck.failMachine(t.mach, fmt.Sprintf("injected instead of flush of line %d", eff.Line))
 		return true
 	}
+	ck.fbChainDecided = ck.fbChain
 	return false
+}
+
+// pruneFailurePoint reports whether the failure-injection point at t's
+// pending flush can be skipped without changing the explored bug set
+// (Config.Reduction). Both rules are conservative, and both are
+// recomputed deterministically wherever a recorded path re-executes
+// (prefix replay, split units, token replay, minimization), so a pruned
+// site never consumes a decision node anywhere.
+func (ck *Checker) pruneFailurePoint(t *Thread) bool {
+	// Flush-chain subsumption: within one synchronous flush-buffer drain
+	// (sfence/mfence), only the first constraint-narrowing writeback
+	// keeps its failure point. The drain runs inside a single scheduler
+	// step — no thread and no other commit can observe memory between
+	// its writebacks — and each writeback only raises its own line's
+	// constraint Begin, so the post-failure read results reachable by
+	// failing before entry k are a superset of those from failing before
+	// entry k+1: every bug in a later branch is found in the first one.
+	// Poison mode samples constraint windows at load time with per-line
+	// decision points of its own, so it conservatively keeps every point.
+	if ck.fbChainDecided && !ck.cfg.Poison {
+		return true
+	}
+	// Observer-free failure: when every thread outside t's machine has
+	// finished or belongs to an already-failed machine, the failure
+	// branch kills every live thread that still had code to run. No
+	// load, assertion, poison check or blocking operation can execute
+	// in it — finished threads on live machines only have buffered
+	// stores left to drain, and commits alone observe nothing — so the
+	// branch cannot report a bug...
+	m := t.mach
+	for _, o := range ck.threads {
+		if o.mach != m && !o.mach.failed && o.st.State() != sched.Finished {
+			return false
+		}
+	}
+	// ...provided it cannot hit a budget diagnosis either. Its remaining
+	// work is bounded by the currently-buffered entries of live machines
+	// (each at most one commit step and one decision point), so require
+	// headroom under both budgets before pruning.
+	buffered := 0
+	for _, o := range ck.threads {
+		if !o.mach.failed {
+			buffered += o.tb.Buffered()
+		}
+	}
+	if ck.cfg.MaxEventsPerExec > 0 && ck.tree.Depth()+buffered+2 > ck.cfg.MaxEventsPerExec {
+		return false
+	}
+	if ck.stepNo+buffered+8 > ck.cfg.MaxStepsPerExec {
+		return false
+	}
+	return true
 }
 
 // execMFence implements mfence (and the fence halves of locked RMW
@@ -119,7 +185,16 @@ func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
 		if ck.cfg.Poison {
 			ck.poisonCheck(t, b)
 		}
-		c := ck.chooseCandidate(rc, b)
+		var c memmodel.Candidate
+		if ck.fast {
+			c = ck.fastCandidate()
+		} else {
+			d := ck.tree.Depth()
+			c = ck.chooseCandidate(rc, b)
+			if ck.forkEnabled {
+				ck.loadLog = append(ck.loadLog, loadRec{c: c, chain: int32(ck.tree.Depth() - d)})
+			}
+		}
 		for _, mid := range c.Fail.Diff(ck.failed).Machines() {
 			ck.failMachine(ck.machines[mid], fmt.Sprintf("required for %s/%s to read σ%d at %#x", t.mach.name, t.name, c.Seq, b))
 		}
@@ -149,7 +224,7 @@ func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Ca
 		if len(r) == 1 {
 			return r[0]
 		}
-		return r[ck.tree.Choose(decision.KindReadFrom, len(r))]
+		return r[ck.choose(decision.KindReadFrom, len(r))]
 	}
 	it := &ck.readIter
 	rc.CandidatesInto(it, b)
@@ -158,12 +233,29 @@ func (ck *Checker) chooseCandidate(rc *memmodel.ReadContext, b Addr) memmodel.Ca
 		internalPanic("empty read-from set")
 	}
 	for it.HasMore() {
-		if ck.tree.Choose(decision.KindReadFrom, 2) == 0 {
+		if ck.choose(decision.KindReadFrom, 2) == 0 {
 			return c
 		}
 		c, _ = it.Next()
 	}
 	return c
+}
+
+// fastCandidate resolves one non-bypass load byte on the prefix-fork
+// fast path: the recorded candidate is taken as-is and the decision
+// cursor fast-forwards past the read-from chain the lazy search consumed
+// when it was recorded. The caller re-applies the constraint refinement
+// live, so memory-model state evolves exactly as in the recording.
+func (ck *Checker) fastCandidate() memmodel.Candidate {
+	if ck.loadPos >= len(ck.loadLog) {
+		internalPanic("prefix-fork: load log exhausted before the fork point")
+	}
+	rec := ck.loadLog[ck.loadPos]
+	ck.loadPos++
+	if !ck.tree.FastForward(int(rec.chain)) {
+		internalPanic("prefix-fork: recorded read-from chain runs past the decision prefix")
+	}
+	return rec.c
 }
 
 // poisonCheck implements the memory-poisoning option (§4.2 side note):
@@ -192,7 +284,7 @@ func (ck *Checker) poisonCheck(t *Thread, b Addr) {
 		ck.reportBugHere(BugPoison, fmt.Sprintf("read of poisoned cache line %d at %#x (store σ%d lost)", ln, b, s.Seq))
 	case s.Seq > c.Begin:
 		// In doubt: branch on whether the write-back covered it.
-		if ck.tree.Choose(decision.KindPoison, 2) == 1 {
+		if ck.choose(decision.KindPoison, 2) == 1 {
 			ck.mem.LowerEnd(s.Machine, ln, s.Seq)
 			ck.poisoned[ln] = true
 			ck.reportBugHere(BugPoison, fmt.Sprintf("read of poisoned cache line %d at %#x (store σ%d chosen lost)", ln, b, s.Seq))

@@ -29,6 +29,10 @@ type coreMetrics struct {
 	decisions  [numDecisionKinds]*obs.Counter
 	backtracks *obs.Counter
 
+	pruned      *obs.Counter
+	prefixForks *obs.Counter
+	stepsSaved  *obs.Counter
+
 	unitClaims    *obs.Counter
 	unitsFinished *obs.Counter
 	spillsC       *obs.Counter
@@ -62,6 +66,10 @@ func newCoreMetrics(reg *obs.Registry) coreMetrics {
 		steps:      reg.Counter("cxlmc_steps_total", "scheduler steps across all executions"),
 		bugs:       reg.Counter("cxlmc_bugs_total", "distinct bugs found"),
 		backtracks: reg.Counter("cxlmc_backtracks_total", "decision-tree backtracks"),
+
+		pruned:      reg.Counter("cxlmc_pruned_total", "failure decision points pruned by state-space reduction"),
+		prefixForks: reg.Counter("cxlmc_prefix_forks_total", "executions resumed from a shared decision prefix"),
+		stepsSaved:  reg.Counter("cxlmc_prefix_steps_saved_total", "scheduler steps fast-replayed from the prefix log"),
 
 		unitClaims:    reg.Counter("cxlmc_unit_claims_total", "subtree work units claimed by workers"),
 		unitsFinished: reg.Counter("cxlmc_units_finished_total", "subtree work units fully explored"),

@@ -79,6 +79,12 @@ type engine struct {
 	// global cutoff (no overshoot even with many workers).
 	execs int
 	steps int64
+	// pruned/prefixForks/stepsSaved accumulate the reduction and
+	// prefix-fork counters merged from workers at execution boundaries
+	// (plus a resumed checkpoint's cumulative totals).
+	pruned      int64
+	prefixForks int64
+	stepsSaved  int64
 	// created accumulates decision-point counters of completed units,
 	// plus the BaseCreated of a resumed checkpoint.
 	created [numDecisionKinds]int
@@ -164,6 +170,9 @@ type engine struct {
 	repExecs        int
 	repSteps        int64
 	repBugs         int
+	repPruned       int64
+	repForks        int64
+	repSaved        int64
 	leaseStop       chan struct{}
 	leaseStopClosed bool
 	pending         sync.WaitGroup
@@ -193,11 +202,14 @@ type worker struct {
 	hook decision.Hook
 	// lastRound is the last checkpoint round this worker deposited in.
 	lastRound int
-	// mergedSteps/mergedBugs track how much of the private checker's
-	// state has been folded into the engine, so boundary merges are
-	// incremental.
-	mergedSteps int64
-	mergedBugs  int
+	// mergedSteps/mergedBugs (and the reduction counters below) track how
+	// much of the private checker's state has been folded into the
+	// engine, so boundary merges are incremental.
+	mergedSteps  int64
+	mergedBugs   int
+	mergedPruned int64
+	mergedForks  int64
+	mergedSaved  int64
 	// poolEpoch lags engine.poolEpoch; a mismatch at a boundary means the
 	// governor asked for pooled arenas to be released.
 	poolEpoch int
@@ -431,6 +443,9 @@ func (e *engine) result(complete bool) *Result {
 		ReadFromPoints:   created[decision.KindReadFrom],
 		PoisonPoints:     created[decision.KindPoison],
 		Steps:            e.steps,
+		Pruned:           e.pruned,
+		PrefixForks:      e.prefixForks,
+		StepsSaved:       e.stepsSaved,
 		Elapsed:          e.prior + time.Since(e.start),
 		Complete:         complete,
 		Interrupted:      e.interrupted,
@@ -490,6 +505,9 @@ func (e *engine) envelope(units [][]byte, complete bool) *checkpointData {
 		BaseCreated:      e.created,
 		Executions:       e.execs,
 		Steps:            e.steps,
+		Pruned:           e.pruned,
+		PrefixForks:      e.prefixForks,
+		StepsSaved:       e.stepsSaved,
 		Elapsed:          e.prior + time.Since(e.start),
 		Complete:         complete,
 		Interrupted:      e.interrupted,
@@ -543,6 +561,9 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 	}
 	e.execs = cp.Executions
 	e.steps = cp.Steps
+	e.pruned = cp.Pruned
+	e.prefixForks = cp.PrefixForks
+	e.stepsSaved = cp.StepsSaved
 	e.prior = cp.Elapsed
 	// Resilience counters are cumulative across the whole exploration,
 	// not per-process: a resumed run must carry forward how degraded the
@@ -567,6 +588,9 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 	e.baseExecs = cp.Executions
 	e.om.execs.Add(int64(cp.Executions))
 	e.om.steps.Add(cp.Steps)
+	e.om.pruned.Add(cp.Pruned)
+	e.om.prefixForks.Add(cp.PrefixForks)
+	e.om.stepsSaved.Add(cp.StepsSaved)
 	e.om.bugs.Add(int64(len(cp.Bugs)))
 	e.om.spillsC.Add(int64(cp.Spills))
 	e.om.cpErrors.Add(int64(cp.CheckpointErrors))
@@ -727,12 +751,16 @@ func (e *engine) adoptSplitLocked(parent *decision.Tree, units []*decision.Tree)
 // sums deltas, so partition-exactness is what matters.
 func (e *engine) reportDeltaLocked() UnitReport {
 	rep := UnitReport{
-		Executions: e.execs - e.repExecs,
-		Steps:      e.steps - e.repSteps,
-		Created:    e.pendingCreated,
-		Bugs:       append([]Bug(nil), e.bugs[e.repBugs:]...),
+		Executions:  e.execs - e.repExecs,
+		Steps:       e.steps - e.repSteps,
+		Pruned:      e.pruned - e.repPruned,
+		PrefixForks: e.prefixForks - e.repForks,
+		StepsSaved:  e.stepsSaved - e.repSaved,
+		Created:     e.pendingCreated,
+		Bugs:        append([]Bug(nil), e.bugs[e.repBugs:]...),
 	}
 	e.repExecs, e.repSteps, e.repBugs = e.execs, e.steps, len(e.bugs)
+	e.repPruned, e.repForks, e.repSaved = e.pruned, e.prefixForks, e.stepsSaved
 	e.pendingCreated = [numDecisionKinds]int{}
 	return rep
 }
@@ -859,6 +887,9 @@ func (e *engine) flushRemote() {
 func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 	ck := w.ck
 	ck.tree = tr
+	// Adopting a unit invalidates any prefix-fork log: the recorded steps
+	// belong to the previous unit's pending path, not this tree's.
+	ck.invalidateFork()
 	// (Re)attach this worker's event hook: hooks are never serialized, so
 	// a unit restored from a checkpoint or handed over by Split arrives
 	// bare.
@@ -943,6 +974,11 @@ func (e *engine) runUnit(w *worker, tr *decision.Tree) {
 				e.mu.Unlock()
 				return
 			}
+			// The next pending path shares a prefix with the one just run:
+			// arm the prefix-fork so the shared steps fast-replay. (Split
+			// below only carves off un-taken branches; the pending path —
+			// and therefore the armed fork — survives it.)
+			ck.armFork()
 			if e.cfg.MaxExecutions > 0 && e.execs >= e.cfg.MaxExecutions {
 				e.stopLocked()
 				e.endUnitLocked(w, tr, true)
@@ -1056,6 +1092,12 @@ func (e *engine) mergeLocked(w *worker) {
 	e.steps += delta
 	e.om.steps.Add(delta)
 	w.mergedSteps = ck.stats.Steps
+	e.pruned += ck.stats.Pruned - w.mergedPruned
+	w.mergedPruned = ck.stats.Pruned
+	e.prefixForks += ck.stats.PrefixForks - w.mergedForks
+	w.mergedForks = ck.stats.PrefixForks
+	e.stepsSaved += ck.stats.StepsSaved - w.mergedSaved
+	w.mergedSaved = ck.stats.StepsSaved
 	for _, b := range ck.bugs[w.mergedBugs:] {
 		key := b.Kind.String() + ":" + b.Message
 		if !e.seen[key] {

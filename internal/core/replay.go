@@ -56,9 +56,11 @@ func decodeReproToken(s string) (*reproToken, error) {
 // with CaptureTrace forced on so the result's bug carries its event
 // trace. The token pins the seed; the remaining exploration-relevant
 // configuration (GPF, Poison, EagerReadSet, CommitChance,
-// MaxStepsPerExec, MemSize) and the program structure must match the
-// recording run, and a mismatch is rejected with a descriptive error.
-// The replay is a single execution; Stats.Executions is 1.
+// MaxStepsPerExec, MemSize, MaxEventsPerExec, Reduction) and the program
+// structure must match the recording run, and a mismatch is rejected
+// with a descriptive error. PrefixFork is not part of the digest — a
+// replay always re-executes in full regardless of its setting. The
+// replay is a single execution; Stats.Executions is 1.
 func Replay(token string, cfg Config, program func(*Program)) (*Result, error) {
 	if program == nil {
 		return nil, setupError{"nil program"}
@@ -75,7 +77,7 @@ func Replay(token string, cfg Config, program func(*Program)) (*Result, error) {
 	cfg.CaptureTrace = true
 	cfg.fillDefaults()
 	if d := configDigest(cfg); d != tok.Config {
-		return nil, fmt.Errorf("cxlmc: repro token was recorded under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize must match the recording run",
+		return nil, fmt.Errorf("cxlmc: repro token was recorded under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize/MaxEventsPerExec/Reduction must match the recording run",
 			tok.Config, d)
 	}
 	progDigest, err := programDigestOf(cfg, program)

@@ -192,6 +192,27 @@ func (t *Tree) Advance() bool {
 	return false
 }
 
+// PendingDepth returns the depth of the deepest surviving decision
+// point — after Advance returned true, the node whose next branch the
+// coming execution will explore. Every decision shallower than this
+// replays identically to the previous execution, so [0, PendingDepth())
+// is the prefix the two executions share. Returns -1 on an empty tree.
+func (t *Tree) PendingDepth() int { return len(t.nodes) - 1 }
+
+// FastForward advances the replay cursor k decision points without
+// re-validating kind or arity, for callers that reproduce the recorded
+// prefix by other means (the checker's prefix-fork fast path replays
+// logged step effects instead of re-deriving each decision). It reports
+// whether the skipped nodes all lie within the recorded path; on false
+// the cursor is unchanged.
+func (t *Tree) FastForward(k int) bool {
+	if k < 0 || t.depth+k > len(t.nodes) {
+		return false
+	}
+	t.depth += k
+	return true
+}
+
 // Executions returns the number of executions begun.
 func (t *Tree) Executions() int { return t.execs }
 
@@ -242,16 +263,20 @@ func (t *Tree) Split() []*Tree {
 		if nd.chosen+1 >= nd.n {
 			continue
 		}
-		prefix := make([]Step, d+1)
-		for i := 0; i <= d; i++ {
-			prefix[i] = Step{Kind: t.nodes[i].kind, N: t.nodes[i].n, Chosen: t.nodes[i].chosen}
-		}
-		units := make([]*Tree, 0, nd.n-nd.chosen-1)
+		// Build each branch's node prefix directly from this tree's nodes,
+		// carving all branches out of one shared slab: no intermediate
+		// []Step copies, two allocations total plus one Tree per branch
+		// (work donation happens at every steal, so this is the engine's
+		// per-steal allocation cost).
+		branches := int(nd.n - nd.chosen - 1)
+		slab := make([]node, (d+1)*branches)
+		units := make([]*Tree, 0, branches)
 		for b := nd.chosen + 1; b < nd.n; b++ {
-			p := make([]Step, len(prefix))
-			copy(p, prefix)
-			p[d].Chosen = b
-			units = append(units, NewSubtree(p))
+			ns := slab[: d+1 : d+1]
+			slab = slab[d+1:]
+			copy(ns, t.nodes[:d+1])
+			ns[d].chosen = b
+			units = append(units, &Tree{nodes: ns, fixed: d + 1, recorded: d + 1})
 		}
 		t.fixed = d + 1
 		return units

@@ -1,0 +1,93 @@
+package decision
+
+import "testing"
+
+// TestPendingDepth verifies that after Advance the pending depth names
+// the node that will branch differently, and that everything shallower
+// is the shared prefix.
+func TestPendingDepth(t *testing.T) {
+	tr := NewTree()
+	if got := tr.PendingDepth(); got != -1 {
+		t.Fatalf("empty tree PendingDepth = %d, want -1", got)
+	}
+	tr.Begin()
+	tr.Choose(KindFailure, 2)
+	tr.Choose(KindReadFrom, 2)
+	tr.Choose(KindFailure, 2)
+	if !tr.Advance() {
+		t.Fatal("Advance returned false with unexhausted nodes")
+	}
+	// The deepest node advanced: depths 0 and 1 are the shared prefix.
+	if got := tr.PendingDepth(); got != 2 {
+		t.Fatalf("PendingDepth = %d, want 2", got)
+	}
+	tr.Begin()
+	if tr.Choose(KindFailure, 2) != 0 || tr.Choose(KindReadFrom, 2) != 0 {
+		t.Fatal("shared prefix did not replay branch 0")
+	}
+	if tr.Choose(KindFailure, 2) != 1 {
+		t.Fatal("pending node did not replay its advanced branch")
+	}
+	if !tr.Advance() {
+		t.Fatal("Advance returned false")
+	}
+	// Depth 2 exhausted and popped; depth 1 advanced.
+	if got := tr.PendingDepth(); got != 1 {
+		t.Fatalf("PendingDepth = %d, want 1", got)
+	}
+}
+
+// TestFastForward verifies cursor math and bounds checking.
+func TestFastForward(t *testing.T) {
+	tr := NewTree()
+	tr.Begin()
+	tr.Choose(KindReadFrom, 2)
+	tr.Choose(KindReadFrom, 2)
+	tr.Choose(KindFailure, 2)
+	if !tr.Advance() {
+		t.Fatal("Advance returned false")
+	}
+	tr.Begin()
+	if !tr.FastForward(2) {
+		t.Fatal("FastForward(2) within the recorded path failed")
+	}
+	if got := tr.Depth(); got != 2 {
+		t.Fatalf("Depth after FastForward = %d, want 2", got)
+	}
+	// The next Choose lands on the pending node and sees its new branch.
+	if got := tr.Choose(KindFailure, 2); got != 1 {
+		t.Fatalf("Choose after FastForward = %d, want 1", got)
+	}
+	// Past the recorded path: rejected, cursor unchanged.
+	if tr.FastForward(1) {
+		t.Fatal("FastForward past the recorded path succeeded")
+	}
+	if tr.FastForward(-1) {
+		t.Fatal("FastForward(-1) succeeded")
+	}
+	if got := tr.Depth(); got != 3 {
+		t.Fatalf("Depth changed by rejected FastForward: %d", got)
+	}
+	// Fresh decisions beyond the prefix still work after a fast-forward.
+	tr.Choose(KindPoison, 2)
+	if got := tr.Created(KindPoison); got != 1 {
+		t.Fatalf("fresh decision after FastForward not counted: %d", got)
+	}
+}
+
+// TestFastForwardSubtree verifies the fast path composes with Split
+// units: a subtree's fixed prefix fast-forwards like any recorded nodes.
+func TestFastForwardSubtree(t *testing.T) {
+	tr := NewSubtree([]Step{
+		{Kind: KindReadFrom, N: 2, Chosen: 1},
+		{Kind: KindFailure, N: 2, Chosen: 1},
+	})
+	tr.Begin()
+	if !tr.FastForward(2) {
+		t.Fatal("FastForward over a fixed prefix failed")
+	}
+	tr.Choose(KindFailure, 2)
+	if got := tr.Created(KindFailure); got != 1 {
+		t.Fatalf("fresh decision count = %d, want 1", got)
+	}
+}

@@ -67,6 +67,9 @@ type Coordinator struct {
 	// Resumed-checkpoint baselines; live totals are base + frontier.
 	baseExecs   int
 	baseSteps   int64
+	basePruned  int64
+	baseForks   int64
+	baseSaved   int64
 	baseCreated [core.NumDecisionKinds]int
 	baseBugs    []core.Bug
 	prior       time.Duration
@@ -226,6 +229,9 @@ func (c *Coordinator) seedUnits() ([][]byte, error) {
 	}
 	c.baseExecs = cp.Executions
 	c.baseSteps = cp.Steps
+	c.basePruned = cp.Pruned
+	c.baseForks = cp.PrefixForks
+	c.baseSaved = cp.StepsSaved
 	c.prior = cp.Elapsed
 	c.baseBugs = append([]core.Bug(nil), cp.Bugs...)
 	c.degraded = cp.Degraded
@@ -529,6 +535,7 @@ func (c *Coordinator) checkpointLoop() {
 // plain single-process run) sums them back to exactly the same totals.
 func (c *Coordinator) writeCheckpoint(complete bool) error {
 	execs, steps, created, bugs, _, _ := c.f.Progress()
+	pruned, forks, saved := c.f.ReductionTotals()
 	units := c.f.OutstandingSnapshots()
 	cp := core.NewCheckpoint(c.cfg.Check.Seed, c.cfgDigest, c.progDigest)
 	cp.Units = units
@@ -538,6 +545,9 @@ func (c *Coordinator) writeCheckpoint(complete bool) error {
 	}
 	cp.Executions = c.baseExecs + execs
 	cp.Steps = c.baseSteps + steps
+	cp.Pruned = c.basePruned + pruned
+	cp.PrefixForks = c.baseForks + forks
+	cp.StepsSaved = c.baseSaved + saved
 	cp.Elapsed = c.prior + time.Since(c.start)
 	cp.Complete = complete
 	cp.Interrupted = c.interrupted
@@ -624,6 +634,7 @@ func (c *Coordinator) Wait(stop <-chan struct{}) (*core.Result, error) {
 	time.Sleep(stopLinger)
 	c.srv.Close()
 	execs, steps, created, bugs, _, _ := c.f.Progress()
+	pruned, forks, saved := c.f.ReductionTotals()
 	fs := c.f.Stats()
 	c.f.Close()
 	c.mu.Lock()
@@ -631,6 +642,9 @@ func (c *Coordinator) Wait(stop <-chan struct{}) (*core.Result, error) {
 	stats := core.Stats{
 		Executions:       c.baseExecs + execs,
 		Steps:            c.baseSteps + steps,
+		Pruned:           c.basePruned + pruned,
+		PrefixForks:      c.baseForks + forks,
+		StepsSaved:       c.baseSaved + saved,
 		Elapsed:          c.prior + time.Since(c.start),
 		Complete:         complete,
 		Interrupted:      c.interrupted,

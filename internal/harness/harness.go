@@ -166,8 +166,13 @@ type Table5Row struct {
 
 // RunTable5Row explores one fixed benchmark to completion.
 func RunTable5Row(b recipe.Benchmark, gpf bool, seed int64) (Table5Row, error) {
+	return runTable5Row(b, gpf, seed, cxlmc.SwitchDefault)
+}
+
+func runTable5Row(b recipe.Benchmark, gpf bool, seed int64, reduction cxlmc.Switch) (Table5Row, error) {
 	res, err := cxlmc.Run(
-		cxlmc.Config{GPF: gpf, Seed: seed, MaxExecutions: 2_000_000},
+		cxlmc.Config{GPF: gpf, Seed: seed, MaxExecutions: 2_000_000,
+			Reduction: reduction, PrefixFork: reduction},
 		recipe.Program(b, Table5Config()),
 	)
 	if err != nil {
@@ -183,10 +188,18 @@ func RunTable5Row(b recipe.Benchmark, gpf bool, seed int64) (Table5Row, error) {
 // RunTable5 explores every fixed benchmark, without and with GPF mode,
 // mirroring the paper's Table 5.
 func RunTable5(seed int64) ([]Table5Row, error) {
+	return RunTable5Reduction(seed, cxlmc.SwitchDefault)
+}
+
+// RunTable5Reduction is RunTable5 with the state-space-reduction and
+// prefix-fork knobs set explicitly. SwitchOff reproduces the unreduced
+// exhaustive exploration — the apples-to-apples comparison against the
+// paper's reported #Execs, which predate any reduction.
+func RunTable5Reduction(seed int64, reduction cxlmc.Switch) ([]Table5Row, error) {
 	var rows []Table5Row
 	for _, gpf := range []bool{false, true} {
 		for _, b := range Benchmarks {
-			row, err := RunTable5Row(b, gpf, seed)
+			row, err := runTable5Row(b, gpf, seed, reduction)
 			if err != nil {
 				return nil, fmt.Errorf("%s (gpf=%v): %w", b.Name, gpf, err)
 			}

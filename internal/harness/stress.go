@@ -9,8 +9,12 @@ package harness
 //   - serial and parallel exploration agree on executions, decision
 //     points and the distinct-bug set (worker-count invariance);
 //   - every repro token replays and reproduces its bug;
+//   - state-space reduction and prefix-fork replay change the execution
+//     count but never the bug set (reduction soundness, fuzzed on every
+//     seed with the knobs on vs off);
 //   - interrupting a run and resuming it under fault injection converges
-//     to exactly the uninterrupted exploration.
+//     to exactly the uninterrupted exploration (with reduction on and
+//     off).
 //
 // The generator is exposed to native `go test -fuzz` via
 // FuzzRandomProgram in stress_test.go and to the CLI via `cxlmc -stress`.
@@ -398,8 +402,56 @@ func StressOne(seed int64, opts StressOptions) (sr StressResult) {
 		}
 	}
 
+	// Reduction-soundness leg: the same seed explored with state-space
+	// reduction and prefix-fork replay off must surface exactly the same
+	// bug set. Pruning only ever removes executions, so the reduced run
+	// completing while the exhaustive one hits the execution cap is
+	// expected; the reverse is a checker bug.
+	offCfg := serialCfg
+	offCfg.Reduction = cxlmc.SwitchOff
+	offCfg.PrefixFork = cxlmc.SwitchOff
+	off, err := cxlmc.Run(offCfg, prog)
+	if err != nil {
+		violatef("reduction-off run failed: %v", err)
+		return sr
+	}
+	if off.Complete && !serial.Complete {
+		violatef("reduction-off completed in %d execs but the reduced run hit the cap at %d",
+			off.Executions, serial.Executions)
+	}
+	if serial.Complete && off.Complete {
+		if serial.Executions > off.Executions {
+			violatef("reduction increased executions: on=%d off=%d", serial.Executions, off.Executions)
+		}
+		if !sameBugSet(serial.Bugs, off.Bugs) {
+			violatef("reduction changed the bug set: on=%v off=%v",
+				bugKeys(serial.Bugs), bugKeys(off.Bugs))
+		}
+	}
+	for _, b := range off.Bugs {
+		if b.ReproToken == "" {
+			continue
+		}
+		rep, err := cxlmc.Replay(b.ReproToken, offCfg, prog)
+		if err != nil {
+			violatef("reduction-off token for %q does not replay: %v", b.Message, err)
+			continue
+		}
+		if !replayHas(rep, b) {
+			violatef("reduction-off token for %q replayed to %v", b.Message, bugKeys(rep.Bugs))
+		}
+	}
+
 	if opts.Chaos && serial.Complete {
 		sr.Violations = append(sr.Violations, stressChaosLeg(seed, opts, prog, serialCfg, serial)...)
+		// The same interrupt-and-resume storm with reduction off: proves
+		// checkpoint resume and pruning parity compose under fault
+		// injection too.
+		if off.Complete {
+			for _, s := range stressChaosLeg(seed, opts, prog, offCfg, off) {
+				sr.Violations = append(sr.Violations, "reduction-off "+s)
+			}
+		}
 	}
 	return sr
 }

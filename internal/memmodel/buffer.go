@@ -134,6 +134,12 @@ func (tb *ThreadBuf) BypassByte(b Addr) (val byte, ok bool) {
 // Empty reports whether both S_τ and F_τ are drained.
 func (tb *ThreadBuf) Empty() bool { return len(tb.SB) == 0 && len(tb.FB) == 0 }
 
+// Buffered returns the number of enqueued store- and flush-buffer
+// entries: an upper bound on the commit steps (and failure decision
+// points) the thread can still produce without executing further
+// instructions. The checker's reduction headroom proof relies on it.
+func (tb *ThreadBuf) Buffered() int { return len(tb.SB) + len(tb.FB) }
+
 // Head returns the next store-buffer entry to commit, or nil.
 func (tb *ThreadBuf) Head() *SBEntry {
 	if len(tb.SB) == 0 {

@@ -23,7 +23,7 @@ benchtime=3x
 pattern='BenchmarkTable5|BenchmarkParallelScaling|BenchmarkFigure|BenchmarkObsOverhead'
 if [ "${1:-}" = "--short" ]; then
     benchtime=1x
-    pattern='BenchmarkTable5/CCEH$|BenchmarkParallelScaling|BenchmarkFigure3|BenchmarkObsOverhead'
+    pattern='BenchmarkTable5/CCEH$|BenchmarkTable5/CCEH_ReductionOff$|BenchmarkParallelScaling|BenchmarkFigure3|BenchmarkObsOverhead'
 fi
 
 date="$(date +%Y%m%d)"
@@ -66,8 +66,12 @@ BEGIN { print "["; first = 1 }
         else if (unit == "B/op") bop = $i
         else if (unit == "allocs/op") allocs = $i
         else if (unit ~ /^[a-z-]+$/ && $i ~ /^[0-9.]+$/) {
+            # Metric units use dashes (Go unit syntax); JSON keys use
+            # underscores (execs-per-exploration -> execs_per_exploration).
+            key = unit
+            gsub(/-/, "_", key)
             if (metrics != "") metrics = metrics ","
-            metrics = metrics "\"" unit "\":" $i
+            metrics = metrics "\"" key "\":" $i
         }
     }
     if (ns == "") next
