@@ -38,6 +38,7 @@ func exploreOnce(b *testing.B, cfg cxlmc.Config, prog func(*cxlmc.Program)) {
 	b.ReportMetric(float64(last.FailurePoints), "fpoints")
 	b.ReportMetric(float64(last.ReadFromPoints), "rfpoints")
 	b.ReportMetric(float64(last.StepsSaved), "steps-saved")
+	b.ReportMetric(float64(last.RaceReports), "races")
 }
 
 // explorationAllocs measures the heap allocations of one full exploration
@@ -194,7 +195,11 @@ func BenchmarkTable4Detect(b *testing.B) {
 
 // BenchmarkTable5 explores every fixed RECIPE benchmark to completion,
 // with and without GPF mode — the paper's Table 5 rows (2 machines × 2
-// threads, 10 keys).
+// threads, 10 keys). The rows run the way the CLI does by default:
+// happens-before race detection on, with the cxlvet pre-pass feeding
+// Config.UnflushedLines — so their ns/op includes the detector tax the
+// CCEH_RaceDetectOff row below isolates, and each row reports the
+// pre-dedup race count and the vet finding count as tracked metrics.
 func BenchmarkTable5(b *testing.B) {
 	for _, gpf := range []bool{false, true} {
 		for _, bench := range harness.Benchmarks {
@@ -204,17 +209,38 @@ func BenchmarkTable5(b *testing.B) {
 				name += "_GPF"
 			}
 			b.Run(name, func(b *testing.B) {
-				exploreOnce(b, cxlmc.Config{GPF: gpf}, recipe.Program(bench, harness.Table5Config()))
+				prog := recipe.Program(bench, harness.Table5Config())
+				cfg := cxlmc.Config{GPF: gpf, RaceDetect: cxlmc.SwitchOn}
+				vet, err := cxlmc.Vet(cfg, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.UnflushedLines = vet.FlaggedLines()
+				exploreOnce(b, cfg, prog)
+				b.ReportMetric(float64(len(vet.Findings)), "vet-findings")
 			})
 		}
 	}
 	// The algorithmic-win comparison row: CCEH with state-space reduction
-	// and prefix-fork replay disabled. BENCH_*.json then records the
-	// unreduced exec count next to the reduced CCEH row above, so the
-	// reduction's effect is a tracked metric rather than a one-off
-	// measurement.
+	// and prefix-fork replay disabled (race detection stays on so the
+	// delta against the CCEH row above is the reduction alone).
+	// BENCH_*.json then records the unreduced exec count next to the
+	// reduced CCEH row, so the reduction's effect is a tracked metric
+	// rather than a one-off measurement.
 	b.Run("CCEH_ReductionOff", func(b *testing.B) {
-		cfg := cxlmc.Config{Reduction: cxlmc.SwitchOff, PrefixFork: cxlmc.SwitchOff}
+		cfg := cxlmc.Config{
+			Reduction: cxlmc.SwitchOff, PrefixFork: cxlmc.SwitchOff,
+			RaceDetect: cxlmc.SwitchOn,
+		}
+		exploreOnce(b, cfg, recipe.Program(harness.Benchmarks[0], harness.Table5Config()))
+	})
+	// The detector-cost comparison row: CCEH with race detection off —
+	// exactly the configuration the CCEH row ran before the detector
+	// existed, so its ns/op and allocs/op against the CCEH row isolate
+	// the happens-before detector's overhead (budget: ≤15% ns/op, +0
+	// allocs on this row vs the pre-detector baseline).
+	b.Run("CCEH_RaceDetectOff", func(b *testing.B) {
+		cfg := cxlmc.Config{RaceDetect: cxlmc.SwitchOff}
 		exploreOnce(b, cfg, recipe.Program(harness.Benchmarks[0], harness.Table5Config()))
 	})
 }

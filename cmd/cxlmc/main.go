@@ -10,15 +10,17 @@
 //	      [-checkpoint file] [-checkpoint-every N] [-checkpoint-interval d]
 //	      [-wedge-timeout d] [-replay token]
 //	      [-mem-budget bytes] [-spill-dir dir] [-max-events N]
-//	      [-reduction on|off] [-prefix-fork on|off]
+//	      [-reduction on|off] [-prefix-fork on|off] [-race-detect on|off]
 //	      [-chaos] [-chaos-seed N]
 //	      [-metrics-addr host:port] [-progress d] [-event-log file]
 //	      [-metrics-snapshot file]
 //	      [-serve addr | -join addr] [-lease-ttl d] [-continue] [-worker-name s]
+//	cxlmc -vet -bench NAME
 //	cxlmc -stress N [-seed 0] [-chaos]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
-// P-BwTree, P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress).
+// P-BwTree, P-CLHT, P-MassTree), a CXL-SHM case (kv, test_stress), or
+// vet-demo (a purpose-built static-analysis example).
 // -bugs is a bitmask enabling that benchmark's seeded bugs (0 = fixed).
 //
 // -workers sets the number of parallel exploration workers (0 =
@@ -50,6 +52,17 @@
 // optimizations; -reduction=off -prefix-fork=off restores the
 // exhaustive baseline (repro tokens record the -reduction setting and
 // replay under the same setting).
+//
+// Static analysis and race detection: -vet runs only the cxlvet static
+// pre-pass — one instrumented deterministic dry run of the program —
+// and prints its findings (lock-order cycles, unflushed publishes,
+// dead failure points) in a stable machine-readable format, exiting 1
+// if there are findings and 0 on a clean program. -race-detect
+// (default on) enables the happens-before data-race detector during
+// exploration and feeds the vet pre-pass's unflushed-publish lines to
+// the checker so a crash exposing one is reported as an
+// unflushed-publish bug; repro tokens record the setting and replay
+// under the same setting.
 //
 // Observability: -metrics-addr serves /metrics (Prometheus text),
 // /statusz (JSON run status) and /debug/pprof for the duration of the
@@ -89,6 +102,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -99,6 +113,7 @@ import (
 	"syscall"
 
 	cxlmc "repro"
+	"repro/internal/analyze"
 	"repro/internal/cxlshm"
 	"repro/internal/dist"
 	"repro/internal/harness"
@@ -138,8 +153,10 @@ func run() int {
 		memBudget  = flag.Uint64("mem-budget", 0, "soft heap budget in bytes; over it the run degrades gracefully instead of OOMing (0 = off)")
 		spillDir   = flag.String("spill-dir", "", "directory the governor may spill cold frontier units to under memory pressure")
 		maxEvents  = flag.Int("max-events", 0, "cap on decision points per execution; exceeding it is reported as a resource-exhausted bug (0 = off)")
-	reduction  = flag.String("reduction", "on", "state-space reduction: prune failure points no surviving thread can observe (on|off)")
-	prefixFork = flag.String("prefix-fork", "on", "prefix-fork replay: resume sibling executions from the shared decision prefix instead of re-running it (on|off)")
+		reduction  = flag.String("reduction", "on", "state-space reduction: prune failure points no surviving thread can observe (on|off)")
+		prefixFork = flag.String("prefix-fork", "on", "prefix-fork replay: resume sibling executions from the shared decision prefix instead of re-running it (on|off)")
+		raceDetect = flag.String("race-detect", "on", "happens-before data-race detection during exploration (on|off)")
+		vetOnly    = flag.Bool("vet", false, "run only the cxlvet static pre-pass and print its findings (exit 1 if any)")
 		chaosOn    = flag.Bool("chaos", false, "inject seeded faults into checkpoint I/O and worker scheduling (with -stress: add the resume-under-chaos leg)")
 		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the -chaos fault injector")
 		stress     = flag.Int("stress", 0, "self-fuzz N seeded random programs (starting at -seed) instead of running a benchmark")
@@ -196,6 +213,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cxlmc: workers hold no durable state; put -checkpoint (and -spill-dir) on the coordinator")
 		return 2
 	}
+	if *vetOnly && (distMode || *replay != "") {
+		fmt.Fprintln(os.Stderr, "cxlmc: -vet is a local static pre-pass; drop -serve/-join/-replay")
+		return 2
+	}
 
 	bugs, err := strconv.ParseUint(*bugsFlag, 0, 32)
 	if err != nil {
@@ -220,6 +241,10 @@ func run() int {
 	if !ok {
 		return 2
 	}
+	raceDetectSw, ok := parseSwitch("race-detect", *raceDetect)
+	if !ok {
+		return 2
+	}
 
 	cfg := cxlmc.Config{
 		Seed: *seed, GPF: *gpf, Poison: *poison, Workers: *checkers,
@@ -227,7 +252,7 @@ func run() int {
 		CheckpointPath: *checkpoint, CheckpointEvery: *cpEvery, CheckpointInterval: *cpInterval,
 		WedgeTimeout:   *wedge,
 		MemBudgetBytes: *memBudget, SpillDir: *spillDir, MaxEventsPerExec: *maxEvents,
-		Reduction: reductionSw, PrefixFork: prefixForkSw,
+		Reduction: reductionSw, PrefixFork: prefixForkSw, RaceDetect: raceDetectSw,
 	}
 	if *trace {
 		cfg.Trace = os.Stdout
@@ -317,7 +342,9 @@ func run() int {
 	}
 
 	var program func(*cxlmc.Program)
-	if b, ok := harness.ByName(*bench); ok {
+	if *bench == "vet-demo" {
+		program = analyze.DemoProgram
+	} else if b, ok := harness.ByName(*bench); ok {
 		program = recipe.Program(b, recipe.Config{
 			Keys: *keys, Workers: *insWorkers, Stride: *stride, Bugs: recipe.Bug(bugs),
 		})
@@ -334,6 +361,24 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cxlmc: unknown benchmark %q (try -list)\n", *bench)
 			return 2
 		}
+	}
+
+	if *vetOnly {
+		return runVet(cfg, program, os.Stdout, os.Stderr)
+	}
+
+	// With race detection on, run the cxlvet pre-pass once up front: its
+	// unflushed-publish lines arm the checker's crash-exposure check. The
+	// pre-pass is deterministic and runs identically in every mode (run,
+	// replay, coordinator, worker), so the resulting config digests match.
+	if raceDetectSw == cxlmc.SwitchOn {
+		rep, err := analyze.Vet(cfg, program)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: vet pre-pass: %v\n", err)
+			return 1
+		}
+		cfg.UnflushedLines = rep.FlaggedLines()
+		reg.Counter("cxlmc_vet_findings_total", "cxlvet static analysis findings").Add(int64(len(rep.Findings)))
 	}
 
 	if *replay != "" {
@@ -414,6 +459,10 @@ func run() int {
 		if res.Pruned > 0 || res.PrefixForks > 0 {
 			fmt.Printf("reduction   pruned=%d prefix-forks=%d steps-saved=%d\n",
 				res.Pruned, res.PrefixForks, res.StepsSaved)
+		}
+		if res.RaceReports > 0 {
+			fmt.Printf("races       %d report(s) from the happens-before detector (distinct races under BUGS FOUND)\n",
+				res.RaceReports)
 		}
 		fmt.Printf("time        %v\n", res.Elapsed)
 		if res.Resumed {
@@ -553,4 +602,23 @@ func listBenchmarks() {
 		fmt.Printf("%s (CXL-SHM)\n", c.Name)
 		fmt.Printf("  bug     * bit %#-4x %s\n", uint32(c.Bit), c.Desc)
 	}
+	fmt.Println("vet-demo (static-analysis example)")
+	fmt.Println("  lock-order cycle + unflushed publish, for -vet")
+}
+
+// runVet runs only the cxlvet static pre-pass on program and prints the
+// findings to out in the stable machine-readable format the golden test
+// pins. Exit-code contract: 0 clean, 1 findings, 2 the dry run itself
+// failed.
+func runVet(cfg cxlmc.Config, program func(*cxlmc.Program), out, errw io.Writer) int {
+	rep, err := analyze.Vet(cfg, program)
+	if err != nil {
+		fmt.Fprintf(errw, "cxlmc: vet: %v\n", err)
+		return 2
+	}
+	rep.WriteText(out)
+	if len(rep.Findings) > 0 {
+		return 1
+	}
+	return 0
 }

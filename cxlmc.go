@@ -59,6 +59,7 @@
 package cxlmc
 
 import (
+	"repro/internal/analyze"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -141,6 +142,14 @@ const (
 	// Config.MaxEventsPerExec decision points: per-execution state-space
 	// blowup, diagnosed structurally instead of walked unboundedly.
 	BugResourceExhausted = core.BugResourceExhausted
+	// BugDataRace is a pair of unordered conflicting accesses to the
+	// same word found by the happens-before race detector
+	// (Config.RaceDetect).
+	BugDataRace = core.BugDataRace
+	// BugUnflushedPublish is a crash that exposed a cache line the
+	// cxlvet static pre-pass flagged as published without flush+fence
+	// (Config.UnflushedLines).
+	BugUnflushedPublish = core.BugUnflushedPublish
 )
 
 // ChaosConfig configures the deterministic fault injector: per-class
@@ -207,4 +216,20 @@ func Run(cfg Config, setup func(*Program)) (*Result, error) {
 // a descriptive error.
 func Replay(token string, cfg Config, setup func(*Program)) (*Result, error) {
 	return core.Replay(token, cfg, setup)
+}
+
+// VetReport is the outcome of the cxlvet static pre-pass: the findings
+// plus the number of op-stream events the dry run recorded.
+type VetReport = analyze.Report
+
+// VetFinding is one cxlvet finding.
+type VetFinding = analyze.Finding
+
+// Vet runs the cxlvet static pre-pass on the program built by setup:
+// one instrumented deterministic dry run, then lock-order-cycle,
+// unflushed-publish and dead-failure-point analyses over the recorded
+// op stream. Feed Report.FlaggedLines() to Config.UnflushedLines to
+// have a subsequent Run report crashes that expose a flagged line.
+func Vet(cfg Config, setup func(*Program)) (*VetReport, error) {
+	return analyze.Vet(cfg, setup)
 }

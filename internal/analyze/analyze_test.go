@@ -1,0 +1,176 @@
+package analyze
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func countKind(rep *Report, k FindingKind) int {
+	n := 0
+	for _, f := range rep.Findings {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDemoProgramFindings pins the purpose-built example to the two
+// headline finding classes: the lock-order cycle between A and B, and
+// the unflushed publish of the data line (line 1: the first 64-byte
+// aligned allocation sits at heap base).
+func TestDemoProgramFindings(t *testing.T) {
+	rep, err := Vet(core.Config{Seed: 1}, DemoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(rep, LockOrderCycle); got != 1 {
+		t.Fatalf("lock-order cycles = %d, want 1; findings: %+v", got, rep.Findings)
+	}
+	if got := countKind(rep, UnflushedPublish); got == 0 {
+		t.Fatalf("no unflushed-publish finding; findings: %+v", rep.Findings)
+	}
+	lines := rep.FlaggedLines()
+	found := false
+	for _, ln := range lines {
+		if ln == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FlaggedLines() = %v, want it to contain line 1 (the data line)", lines)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind == LockOrderCycle &&
+			(!strings.Contains(f.Message, "A") || !strings.Contains(f.Message, "B")) {
+			t.Fatalf("cycle finding does not name both mutexes: %q", f.Message)
+		}
+	}
+}
+
+// TestCleanProgram: consistent lock order and flush+fence before the
+// publish produce no lock-order or unflushed-publish findings.
+func TestCleanProgram(t *testing.T) {
+	clean := func(p *core.Program) {
+		data := p.AllocAligned(8, 64)
+		flag := p.AllocAligned(8, 64)
+		muA := p.NewMutex("A")
+		muB := p.NewMutex("B")
+		m0 := p.NewMachine("writer")
+		w0 := m0.Thread("w0", func(t *core.Thread) {
+			muA.Lock(t)
+			muB.Lock(t)
+			muB.Unlock(t)
+			muA.Unlock(t)
+			t.Store64(data, 42)
+			t.CLFlushOpt(data)
+			t.SFence()
+			t.Store64(flag, 1)
+			t.CLFlush(flag)
+		})
+		m0.Thread("w1", func(t *core.Thread) {
+			t.JoinThreads(w0)
+			muA.Lock(t)
+			muB.Lock(t)
+			muB.Unlock(t)
+			muA.Unlock(t)
+		})
+		m1 := p.NewMachine("reader")
+		m1.Thread("r0", func(t *core.Thread) {
+			t.Load64(flag)
+			t.Load64(data)
+		})
+	}
+	rep, err := Vet(core.Config{Seed: 1}, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(rep, LockOrderCycle); got != 0 {
+		t.Errorf("lock-order cycles = %d, want 0; findings: %+v", got, rep.Findings)
+	}
+	if got := countKind(rep, UnflushedPublish); got != 0 {
+		t.Errorf("unflushed-publish findings = %d, want 0; findings: %+v", got, rep.Findings)
+	}
+	if len(rep.FlaggedLines()) != 0 {
+		t.Errorf("FlaggedLines() = %v, want empty", rep.FlaggedLines())
+	}
+}
+
+// TestMutexReleasePublish: a dirty shared line at unlock is a publish
+// even with no flag store.
+func TestMutexReleasePublish(t *testing.T) {
+	prog := func(p *core.Program) {
+		data := p.AllocAligned(8, 64)
+		mu := p.NewMutex("m")
+		m0 := p.NewMachine("writer")
+		m0.Thread("w0", func(t *core.Thread) {
+			mu.Lock(t)
+			t.Store64(data, 7)
+			mu.Unlock(t)
+		})
+		m1 := p.NewMachine("reader")
+		m1.Thread("r0", func(t *core.Thread) {
+			mu.Lock(t)
+			t.Load64(data)
+			mu.Unlock(t)
+		})
+	}
+	rep, err := Vet(core.Config{Seed: 1}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(rep, UnflushedPublish); got == 0 {
+		t.Fatalf("no unflushed-publish finding at mutex release; findings: %+v", rep.Findings)
+	}
+}
+
+// TestPrivateLinesNotFlagged: unflushed stores to lines only one
+// machine ever touches are scratch, not findings.
+func TestPrivateLinesNotFlagged(t *testing.T) {
+	prog := func(p *core.Program) {
+		scratch := p.AllocAligned(8, 64)
+		flag := p.AllocAligned(8, 64)
+		m0 := p.NewMachine("writer")
+		m0.Thread("w0", func(t *core.Thread) {
+			t.Store64(scratch, 1)
+			t.Store64(flag, 1)
+		})
+		m1 := p.NewMachine("reader")
+		m1.Thread("r0", func(t *core.Thread) {
+			t.Load64(flag)
+		})
+	}
+	rep, err := Vet(core.Config{Seed: 1}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(rep, UnflushedPublish); got != 0 {
+		t.Fatalf("unflushed-publish findings = %d, want 0 (scratch line is private); findings: %+v",
+			got, rep.Findings)
+	}
+}
+
+// TestVetDeterministic: the dry run is deterministic, so two passes
+// must produce byte-identical reports.
+func TestVetDeterministic(t *testing.T) {
+	a, err := Vet(core.Config{Seed: 3}, DemoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Vet(core.Config{Seed: 3}, DemoProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ across identical runs:\n%+v\n%+v", a, b)
+	}
+	var sa, sb strings.Builder
+	a.WriteText(&sa)
+	b.WriteText(&sb)
+	if sa.String() != sb.String() {
+		t.Fatalf("text output differs:\n%s\n%s", sa.String(), sb.String())
+	}
+}

@@ -1,0 +1,49 @@
+package analyze
+
+import "repro/internal/core"
+
+// DemoProgram is a purpose-built example exhibiting both headline
+// cxlvet finding classes without tripping the model checker itself:
+//
+//   - a lock-order inversion: writer thread w0 acquires A then B,
+//     thread w1 (serialized after w0, so no run ever deadlocks)
+//     acquires B then A — a cycle in the static lock-order graph;
+//   - an unflushed publish: w1 stores a value to a data line and then
+//     a ready flag to another line with no flush or fence in between,
+//     while a reader on a second machine consumes both lines.
+//
+// Exposed to the CLI as the "vet-demo" benchmark; the golden-output
+// test pins `cxlmc -vet vet-demo` to the findings this program yields.
+func DemoProgram(p *core.Program) {
+	data := p.AllocAligned(8, 64)
+	flag := p.AllocAligned(8, 64)
+	muA := p.NewMutex("A")
+	muB := p.NewMutex("B")
+
+	writer := p.NewMachine("writer")
+	w0 := writer.Thread("w0", func(t *core.Thread) {
+		muA.Lock(t)
+		muB.Lock(t)
+		muB.Unlock(t)
+		muA.Unlock(t)
+	})
+	writer.Thread("w1", func(t *core.Thread) {
+		t.JoinThreads(w0)
+		muB.Lock(t)
+		muA.Lock(t)
+		muA.Unlock(t)
+		muB.Unlock(t)
+		t.Store64(data, 42)
+		t.Store64(flag, 1) // publish: no flush+fence covers data
+	})
+
+	// The reader touches both lines unconditionally: cxlvet's shared-line
+	// classification comes from the single branch-0 dry run, and a load
+	// hidden behind the flag check would leave the data line looking
+	// machine-private there.
+	reader := p.NewMachine("reader")
+	reader.Thread("r0", func(t *core.Thread) {
+		t.Load64(flag)
+		t.Load64(data)
+	})
+}

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// TestBugKindStringExhaustive walks every kind below the numBugKinds
+// sentinel: each must have a distinct, non-"unknown" String. Bug dedup
+// keys on Kind.String() + ":" + Message, so a collision or a fallthrough
+// to "unknown" would silently merge unrelated bugs.
+func TestBugKindStringExhaustive(t *testing.T) {
+	seen := map[string]BugKind{}
+	for k := BugKind(0); k < numBugKinds; k++ {
+		s := k.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("BugKind(%d).String() = %q: missing a String() case", k, s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("BugKind(%d) and BugKind(%d) share String() %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if got := numBugKinds.String(); got != "unknown" {
+		t.Errorf("out-of-range kind String() = %q, want \"unknown\"", got)
+	}
+	// The analysis kinds introduced with the race detector must be wired.
+	for _, want := range []string{"data-race", "unflushed-publish"} {
+		if _, ok := seen[want]; !ok {
+			t.Errorf("no BugKind stringifies as %q", want)
+		}
+	}
+}

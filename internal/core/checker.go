@@ -95,6 +95,15 @@ type Checker struct {
 	fbChain        bool
 	fbChainDecided bool
 
+	// Happens-before race detection (Config.RaceDetect) and op-stream
+	// observation (Config.Observer). race is pooled across executions;
+	// inRMW suppresses the plain-load race check and load observation
+	// while rmw's internal load runs (the RMW itself is reported as one
+	// synchronization op); observing caches Observer != nil.
+	race      raceDetector
+	inRMW     bool
+	observing bool
+
 	// Prefix-fork fast replay (Config.PrefixFork). While forkEnabled,
 	// every execution records its steps (stepLog), resolved read-from
 	// candidates (loadLog) and the scheduler step of each decision depth
@@ -271,6 +280,18 @@ func (ck *Checker) resetExecution() {
 	}()
 	ck.prog.ck = ck
 	ck.program(&ck.prog)
+
+	// Detector state sizes to the threads and mutexes setup just created.
+	ck.observing = ck.cfg.Observer != nil
+	ck.inRMW = false
+	if ck.cfg.raceDetectOn() {
+		if ck.race.flagged == nil && len(ck.cfg.UnflushedLines) > 0 {
+			ck.race.setFlagged(ck.cfg.UnflushedLines)
+		}
+		ck.race.begin(len(ck.threads), len(ck.mutexes))
+	} else {
+		ck.race.on = false
+	}
 }
 
 // runOneExecution executes the program once, driving threads and buffer
@@ -694,6 +715,9 @@ func (ck *Checker) reportBug(kind BugKind, msg string, t *Thread) {
 		return
 	}
 	ck.seen[key] = true
+	if kind == BugDataRace || kind == BugUnflushedPublish {
+		ck.tracer.Record(ck.workerID, obs.EvDataRace, int64(ck.stats.Executions), 0)
+	}
 	b := Bug{Kind: kind, Message: msg, Execution: ck.stats.Executions}
 	if t != nil {
 		b.Machine = t.mach.name

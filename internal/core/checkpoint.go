@@ -70,6 +70,8 @@ type checkpointData struct {
 	Pruned      int64 `json:"pruned,omitempty"`
 	PrefixForks int64 `json:"prefix_forks,omitempty"`
 	StepsSaved  int64 `json:"steps_saved,omitempty"`
+	// Cumulative race-detector reports, same omitempty contract.
+	RaceReports int64 `json:"race_reports,omitempty"`
 }
 
 // numDecisionKinds is the number of decision.Kind values (read-from,
@@ -88,12 +90,15 @@ const numDecisionKinds = 3
 // one mode could silently consume a wrong node in the other. PrefixFork
 // is deliberately excluded — it replays the identical executions, just
 // cheaper, so tokens and checkpoints are portable across its settings.
-// The seed is checked separately for a clearer error message.
+// RaceDetect (and the UnflushedLines set it arms) is included: a race
+// report aborts its execution, so the detector changes the reachable
+// tree shape and a token recorded in one mode must not replay in the
+// other. The seed is checked separately for a clearer error message.
 func configDigest(cfg Config) string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"cxlmc-config-v3 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t maxevents=%d reduction=%t",
+		"cxlmc-config-v4 gpf=%t poison=%t maxsteps=%d memsize=%d commit=%d eager=%t maxevents=%d reduction=%t racedetect=%t flagged=%v",
 		cfg.GPF, cfg.Poison, cfg.MaxStepsPerExec, cfg.MemSize, cfg.CommitChance, cfg.EagerReadSet,
-		cfg.MaxEventsPerExec, cfg.reductionOn())))
+		cfg.MaxEventsPerExec, cfg.reductionOn(), cfg.raceDetectOn(), cfg.UnflushedLines)))
 	return hex.EncodeToString(h[:8])
 }
 

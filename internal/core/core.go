@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/chaos"
@@ -320,6 +321,35 @@ type Config struct {
 	// Stats.PrefixForks/StepsSaved.
 	PrefixFork Switch
 
+	// RaceDetect controls the dynamic happens-before race detector
+	// (default off at the library level; cmd/cxlmc turns it on for
+	// exploration): per-thread vector clocks joined on mutex
+	// acquire/release, locked RMW operations and thread joins, with
+	// conflicting unordered plain accesses reported as BugDataRace.
+	// A race report aborts its execution like any other bug, so the
+	// detector changes the reachable tree shape and participates in the
+	// checkpoint/repro-token configuration digest — a token recorded with
+	// the detector on never replays with it off, or vice versa.
+	RaceDetect Switch
+
+	// UnflushedLines lists cache-line IDs the static pre-pass
+	// (internal/analyze, "cxlvet") flagged as unflushed-publish hazards.
+	// With RaceDetect on, a post-crash load that resolves on one of these
+	// lines while a newer store from the failed machine was lost is
+	// reported as BugUnflushedPublish. The set is digest-relevant (it
+	// adds bug reports, hence aborts); fillDefaults sorts and dedupes it,
+	// and clears it when the detector is off so an inert set cannot
+	// perturb the digest.
+	UnflushedLines []uint64
+
+	// Observer, when non-nil, receives the op stream of the run — one
+	// OpEvent per simulated load, store, flush, fence, RMW, mutex op and
+	// failure point, in issue order. It exists for the cxlvet static
+	// pre-pass's instrumented dry run; it forces Workers to 1 and is
+	// excluded from the configuration digest (observation never changes
+	// exploration semantics).
+	Observer OpObserver
+
 	// Frontier, when non-nil, turns the run into a distributed worker:
 	// instead of seeding a fresh decision tree, the engine leases subtree
 	// work units from the frontier, explores them with its local worker
@@ -363,17 +393,34 @@ func (c *Config) fillDefaults() {
 	if c.Trace != nil {
 		c.Workers = 1
 	}
+	if c.Observer != nil {
+		c.Workers = 1
+	}
 	if c.Reduction == SwitchDefault {
 		c.Reduction = SwitchOn
 	}
 	if c.PrefixFork == SwitchDefault {
 		c.PrefixFork = SwitchOn
 	}
+	if c.RaceDetect == SwitchDefault {
+		c.RaceDetect = SwitchOff
+	}
+	if !c.raceDetectOn() {
+		c.UnflushedLines = nil
+	} else if len(c.UnflushedLines) > 0 {
+		lines := append([]uint64(nil), c.UnflushedLines...)
+		slices.Sort(lines)
+		c.UnflushedLines = slices.Compact(lines)
+	}
 }
 
 // reductionOn reports whether state-space reduction is enabled (after
 // fillDefaults resolved the Switch).
 func (c *Config) reductionOn() bool { return c.Reduction != SwitchOff }
+
+// raceDetectOn reports whether the happens-before race detector is
+// enabled (after fillDefaults resolved the Switch).
+func (c *Config) raceDetectOn() bool { return c.RaceDetect == SwitchOn }
 
 // prefixForkOn reports whether prefix-fork fast replay may be used.
 // Poison mode mutates constraints during the load path's poison check,
@@ -413,6 +460,19 @@ const (
 	// per-execution crash state-space is blowing up, and the checker
 	// diagnoses it structurally instead of exhausting memory.
 	BugResourceExhausted
+	// BugDataRace is a pair of conflicting plain accesses unordered by
+	// happens-before, found by the dynamic race detector
+	// (Config.RaceDetect). The message names both access sites.
+	BugDataRace
+	// BugUnflushedPublish means a crash exposed a cache line the static
+	// pre-pass flagged as published-while-dirty: a post-crash load lost a
+	// newer store because no flush+fence intervened before the line
+	// became reachable.
+	BugUnflushedPublish
+
+	// numBugKinds is the number of bug kinds; it exists for exhaustiveness
+	// tests and must stay last.
+	numBugKinds
 )
 
 func (k BugKind) String() string {
@@ -433,6 +493,10 @@ func (k BugKind) String() string {
 		return "wedged"
 	case BugResourceExhausted:
 		return "resource-exhausted"
+	case BugDataRace:
+		return "data-race"
+	case BugUnflushedPublish:
+		return "unflushed-publish"
 	}
 	return "unknown"
 }
@@ -488,6 +552,10 @@ type Stats struct {
 	// StepsSaved counts scheduler steps that went through the prefix-fork
 	// fast path — steps whose scans and candidate searches were skipped.
 	StepsSaved int64
+	// RaceReports counts happens-before race detector reports (data races
+	// and crash-exposed unflushed publishes) before deduplication, so the
+	// count is invariant across worker counts for runs that complete.
+	RaceReports int64
 	// Elapsed is the wall-clock time of the whole exploration.
 	Elapsed time.Duration
 	// Complete reports whether the decision tree was fully explored

@@ -61,6 +61,9 @@ type UnitReport struct {
 	Pruned      int64
 	PrefixForks int64
 	StepsSaved  int64
+	// RaceReports is the worker's happens-before race-report delta
+	// (pre-dedup, see Stats.RaceReports).
+	RaceReports int64
 	Created     [NumDecisionKinds]int
 	// Bugs are the distinct bugs found since the previous report, with
 	// repro tokens attached. The frontier deduplicates globally.
@@ -158,6 +161,7 @@ type MemFrontier struct {
 	pruned       int64
 	prefixForks  int64
 	stepsSaved   int64
+	races        int64
 	created      [NumDecisionKinds]int
 	bugs         []Bug
 	seen         map[string]bool
@@ -345,6 +349,7 @@ func (f *MemFrontier) CompleteReport(id, epoch uint64, rep UnitReport) (stale bo
 	f.pruned += rep.Pruned
 	f.prefixForks += rep.PrefixForks
 	f.stepsSaved += rep.StepsSaved
+	f.races += rep.RaceReports
 	for i, c := range rep.Created {
 		f.created[i] += c
 	}
@@ -435,6 +440,14 @@ func (f *MemFrontier) ReductionTotals() (pruned, prefixForks, stepsSaved int64) 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.pruned, f.prefixForks, f.stepsSaved
+}
+
+// RaceReportTotal returns the accumulated happens-before race-report
+// count (pre-dedup) from completion reports.
+func (f *MemFrontier) RaceReportTotal() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.races
 }
 
 // UnitCounts returns how many units were ever added and how many were

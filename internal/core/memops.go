@@ -89,7 +89,17 @@ func (ck *Checker) maybeInjectFailure(t *Thread, eff memmodel.FlushEffect) bool 
 	if ck.reduce && ck.pruneFailurePoint(t) {
 		ck.stats.Pruned++
 		ck.om.pruned.Inc()
+		// Report only observer-free prunes to the op-stream observer:
+		// those are the author-actionable "a crash here is untestable"
+		// sites. Flush-chain subsumption (the first condition inside
+		// pruneFailurePoint) is a mechanical dedup within one drain.
+		if ck.observing && !(ck.fbChainDecided && !ck.cfg.Poison) {
+			ck.observeOp(t, OpDeadFailurePoint, 0, 0, eff.Line, 0, "")
+		}
 		return false
+	}
+	if ck.observing {
+		ck.observeOp(t, OpFailurePoint, 0, 0, eff.Line, 0, "")
 	}
 	if ck.choose(decision.KindFailure, 2) == 1 {
 		ck.failMachine(t.mach, fmt.Sprintf("injected instead of flush of line %d", eff.Line))
@@ -160,6 +170,12 @@ func (ck *Checker) execMFence(t *Thread) {
 		ck.commitSBHead(t)
 	}
 	ck.drainFB(t)
+	// Observed after the drains: an injected failure unwinds the thread
+	// above, and a fence that never completed must not appear in the
+	// op stream.
+	if ck.observing {
+		ck.observeOp(t, OpMFence, 0, 0, 0, 0, "")
+	}
 }
 
 // load performs a size-byte load at a for thread t, resolving each byte
@@ -167,6 +183,12 @@ func (ck *Checker) execMFence(t *Thread) {
 // points (§4.5). Values are little-endian.
 func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
 	ck.checkRange(a, uint64(size))
+	if ck.race.on && !ck.inRMW {
+		ck.raceRead(t, a, size)
+	}
+	if ck.observing && !ck.inRMW {
+		ck.observeOp(t, OpLoad, a, size, 0, 0, "")
+	}
 	// The read context is pooled on the checker (its store scratch buffer
 	// carries over between loads); only one load is ever in flight because
 	// threads run in lock-step.
@@ -200,6 +222,9 @@ func (ck *Checker) load(t *Thread, a Addr, size uint8) uint64 {
 		}
 		rc.Failed = ck.failed
 		rc.ApplyReadConstraint(b, c, ck.failed.Has(c.Machine))
+		if ck.race.flagged != nil {
+			ck.raceCheckExposed(t, b, c)
+		}
 		val |= uint64(c.Val) << (8 * i)
 	}
 	if ck.tracing {
@@ -301,6 +326,12 @@ func (ck *Checker) poisonCheck(t *Thread, b Addr) {
 // and #12) observable.
 func (ck *Checker) store(t *Thread, a Addr, size uint8, val uint64) {
 	ck.checkRange(a, uint64(size))
+	if ck.race.on {
+		ck.raceWrite(t, a, size)
+	}
+	if ck.observing {
+		ck.observeOp(t, OpStore, a, size, 0, 0, "")
+	}
 	if ck.tracing {
 		ck.tracef("exec store [%#x]×%d=%d by %s/%s", a, size, val, t.mach.name, t.name)
 	}
@@ -330,6 +361,19 @@ func (ck *Checker) rmw(t *Thread, a Addr, size uint8, fn func(cur uint64) (uint6
 	ck.checkRange(a, uint64(size))
 	if uint64(a)%uint64(size) != 0 {
 		panic(fmt.Sprintf("cxlmc: misaligned atomic at %#x size %d", a, size))
+	}
+	if ck.race.on || ck.observing {
+		if ck.race.on {
+			ck.raceRMW(t, a)
+		}
+		if ck.observing {
+			ck.observeOp(t, OpRMW, a, size, 0, 0, "")
+		}
+		// The internal load below is half of one atomic instruction, not
+		// a plain access; the deferred reset also covers an injected
+		// failure or a reported bug unwinding the thread mid-RMW.
+		ck.inRMW = true
+		defer func() { ck.inRMW = false }()
 	}
 	ck.execMFence(t)
 	cur := ck.load(t, a, size)

@@ -13,6 +13,7 @@ package core
 type Mutex struct {
 	ck                *Checker
 	name              string
+	idx               int // creation index: position in ck.mutexes
 	owner             *Thread
 	releasedByFailure bool
 	waiters           []*Thread
@@ -32,6 +33,13 @@ func (mu *Mutex) Lock(t *Thread) (ownerFailed bool) {
 		t.st.Block("mutex " + mu.name)
 	}
 	mu.owner = t
+	ck := t.ck
+	if ck.race.on {
+		ck.raceAcquire(t, mu)
+	}
+	if ck.observing {
+		ck.observeOp(t, OpMutexLock, 0, 0, 0, mu.idx, mu.name)
+	}
 	return mu.releasedByFailure
 }
 
@@ -42,6 +50,13 @@ func (mu *Mutex) TryLock(t *Thread) (acquired, ownerFailed bool) {
 		return false, false
 	}
 	mu.owner = t
+	ck := t.ck
+	if ck.race.on {
+		ck.raceAcquire(t, mu)
+	}
+	if ck.observing {
+		ck.observeOp(t, OpMutexLock, 0, 0, 0, mu.idx, mu.name)
+	}
 	return true, mu.releasedByFailure
 }
 
@@ -64,6 +79,13 @@ func (mu *Mutex) Unlock(t *Thread) {
 		return
 	}
 	t.ck.execMFence(t)
+	ck := t.ck
+	if ck.race.on {
+		ck.raceRelease(t, mu)
+	}
+	if ck.observing {
+		ck.observeOp(t, OpMutexUnlock, 0, 0, 0, mu.idx, mu.name)
+	}
 	mu.owner = nil
 	mu.releasedByFailure = false
 	mu.wakeAll()
@@ -75,7 +97,13 @@ func (mu *Mutex) Unlock(t *Thread) {
 func (mu *Mutex) OwnerFailed() bool { return mu.releasedByFailure }
 
 // forceRelease releases the mutex because its owner's machine failed.
+// The dead owner's clock is still published into the mutex: the next
+// acquirer learned of the failure through the lock, so the owner's
+// pre-failure writes are ordered before whatever recovery it runs.
 func (mu *Mutex) forceRelease() {
+	if mu.ck.race.on {
+		mu.ck.raceRelease(mu.owner, mu)
+	}
 	mu.owner = nil
 	mu.releasedByFailure = true
 	mu.wakeAll()

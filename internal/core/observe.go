@@ -33,6 +33,9 @@ type coreMetrics struct {
 	prefixForks *obs.Counter
 	stepsSaved  *obs.Counter
 
+	races       *obs.Counter
+	vetFindings *obs.Counter
+
 	unitClaims    *obs.Counter
 	unitsFinished *obs.Counter
 	spillsC       *obs.Counter
@@ -70,6 +73,9 @@ func newCoreMetrics(reg *obs.Registry) coreMetrics {
 		pruned:      reg.Counter("cxlmc_pruned_total", "failure decision points pruned by state-space reduction"),
 		prefixForks: reg.Counter("cxlmc_prefix_forks_total", "executions resumed from a shared decision prefix"),
 		stepsSaved:  reg.Counter("cxlmc_prefix_steps_saved_total", "scheduler steps fast-replayed from the prefix log"),
+
+		races:       reg.Counter("cxlmc_races_total", "happens-before race detector reports (pre-dedup)"),
+		vetFindings: reg.Counter("cxlmc_vet_findings_total", "cxlvet static analysis findings"),
 
 		unitClaims:    reg.Counter("cxlmc_unit_claims_total", "subtree work units claimed by workers"),
 		unitsFinished: reg.Counter("cxlmc_units_finished_total", "subtree work units fully explored"),

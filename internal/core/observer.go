@@ -1,0 +1,116 @@
+package core
+
+import "repro/internal/memmodel"
+
+// This file defines the op-stream observer interface behind the static
+// analysis pre-pass (internal/analyze, "cxlvet"): a Config.Observer
+// receives one OpEvent per simulated instruction of interest, in program
+// issue order, during an instrumented run. Observation never changes
+// exploration semantics — the Observer is excluded from the
+// configuration digest — but it forces Workers to 1 so the stream is a
+// single deterministic sequence.
+
+// OpKind labels one observed operation.
+type OpKind uint8
+
+// Observed operation kinds.
+const (
+	// OpLoad is a plain load (RMW-internal loads are not reported).
+	OpLoad OpKind = iota
+	// OpStore is a plain buffered store.
+	OpStore
+	// OpFlush is a clflush/clflushopt/clwb issue on a cache line.
+	OpFlush
+	// OpSFence is an sfence issue.
+	OpSFence
+	// OpMFence is an mfence taking effect (including the fence halves of
+	// locked RMW instructions and the release drain inside Mutex.Unlock).
+	OpMFence
+	// OpRMW is a locked read-modify-write instruction (CAS, swap,
+	// fetch-add) on a word.
+	OpRMW
+	// OpMutexLock is a Mutex acquisition completing.
+	OpMutexLock
+	// OpMutexUnlock is a Mutex release (after its release drain).
+	OpMutexUnlock
+	// OpFailurePoint is a failure-injection decision point being created
+	// at a constraint-narrowing flush commit.
+	OpFailurePoint
+	// OpDeadFailurePoint is a failure-injection site the reduction pass
+	// proved observer-free and skipped: a failure branch no surviving
+	// thread could ever observe. Recipe authors see these as "crash here
+	// is untestable" diagnostics.
+	OpDeadFailurePoint
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpFlush:
+		return "flush"
+	case OpSFence:
+		return "sfence"
+	case OpMFence:
+		return "mfence"
+	case OpRMW:
+		return "rmw"
+	case OpMutexLock:
+		return "mutex-lock"
+	case OpMutexUnlock:
+		return "mutex-unlock"
+	case OpFailurePoint:
+		return "failure-point"
+	case OpDeadFailurePoint:
+		return "dead-failure-point"
+	}
+	return "unknown"
+}
+
+// OpEvent is one observed operation, attributed to the issuing thread.
+type OpEvent struct {
+	Kind OpKind
+	// Step is the scheduler step the event was observed at.
+	Step int
+	// Machine/Thread identify the issuing thread: the machine's ID and
+	// name, and the thread's creation index and name.
+	Machine     MachineID
+	MachineName string
+	Thread      int
+	ThreadName  string
+	// Addr/Size describe the accessed range (loads, stores, RMW).
+	Addr Addr
+	Size uint8
+	// Line is the affected cache line (flush and failure-point events).
+	Line memmodel.LineID
+	// Mutex is the mutex's creation index and name (mutex events).
+	Mutex     int
+	MutexName string
+}
+
+// OpObserver receives the op stream of an instrumented run. Calls arrive
+// from the single exploration worker, in issue order; implementations
+// must not call back into the run.
+type OpObserver interface {
+	Op(OpEvent)
+}
+
+// observeOp forwards one event to the configured observer, stamping the
+// step and thread identity. Call sites guard with ck.observing so the
+// disabled path is a single bool check.
+func (ck *Checker) observeOp(t *Thread, kind OpKind, a Addr, size uint8, line memmodel.LineID, mutex int, mutexName string) {
+	ev := OpEvent{
+		Kind: kind, Step: ck.stepNo,
+		Addr: a, Size: size, Line: line,
+		Mutex: mutex, MutexName: mutexName,
+	}
+	if t != nil {
+		ev.Machine = t.mach.id
+		ev.MachineName = t.mach.name
+		ev.Thread = t.idx
+		ev.ThreadName = t.name
+	}
+	ck.cfg.Observer.Op(ev)
+}

@@ -81,10 +81,12 @@ type engine struct {
 	steps int64
 	// pruned/prefixForks/stepsSaved accumulate the reduction and
 	// prefix-fork counters merged from workers at execution boundaries
-	// (plus a resumed checkpoint's cumulative totals).
+	// (plus a resumed checkpoint's cumulative totals); races accumulates
+	// the pre-dedup happens-before race-report count the same way.
 	pruned      int64
 	prefixForks int64
 	stepsSaved  int64
+	races       int64
 	// created accumulates decision-point counters of completed units,
 	// plus the BaseCreated of a resumed checkpoint.
 	created [numDecisionKinds]int
@@ -173,6 +175,7 @@ type engine struct {
 	repPruned       int64
 	repForks        int64
 	repSaved        int64
+	repRaces        int64
 	leaseStop       chan struct{}
 	leaseStopClosed bool
 	pending         sync.WaitGroup
@@ -210,6 +213,7 @@ type worker struct {
 	mergedPruned int64
 	mergedForks  int64
 	mergedSaved  int64
+	mergedRaces  int64
 	// poolEpoch lags engine.poolEpoch; a mismatch at a boundary means the
 	// governor asked for pooled arenas to be released.
 	poolEpoch int
@@ -446,6 +450,7 @@ func (e *engine) result(complete bool) *Result {
 		Pruned:           e.pruned,
 		PrefixForks:      e.prefixForks,
 		StepsSaved:       e.stepsSaved,
+		RaceReports:      e.races,
 		Elapsed:          e.prior + time.Since(e.start),
 		Complete:         complete,
 		Interrupted:      e.interrupted,
@@ -508,6 +513,7 @@ func (e *engine) envelope(units [][]byte, complete bool) *checkpointData {
 		Pruned:           e.pruned,
 		PrefixForks:      e.prefixForks,
 		StepsSaved:       e.stepsSaved,
+		RaceReports:      e.races,
 		Elapsed:          e.prior + time.Since(e.start),
 		Complete:         complete,
 		Interrupted:      e.interrupted,
@@ -528,7 +534,7 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 			path, cp.Seed, e.cfg.Seed)
 	}
 	if cp.ConfigDigest != e.cfgDigest {
-		return fmt.Errorf("cxlmc: checkpoint %s was written under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize must match",
+		return fmt.Errorf("cxlmc: checkpoint %s was written under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize/Reduction/RaceDetect must match",
 			path, cp.ConfigDigest, e.cfgDigest)
 	}
 	if cp.ProgramDigest != e.progDigest {
@@ -564,6 +570,7 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 	e.pruned = cp.Pruned
 	e.prefixForks = cp.PrefixForks
 	e.stepsSaved = cp.StepsSaved
+	e.races = cp.RaceReports
 	e.prior = cp.Elapsed
 	// Resilience counters are cumulative across the whole exploration,
 	// not per-process: a resumed run must carry forward how degraded the
@@ -591,6 +598,7 @@ func (e *engine) adoptCheckpoint(cp *checkpointData) error {
 	e.om.pruned.Add(cp.Pruned)
 	e.om.prefixForks.Add(cp.PrefixForks)
 	e.om.stepsSaved.Add(cp.StepsSaved)
+	e.om.races.Add(cp.RaceReports)
 	e.om.bugs.Add(int64(len(cp.Bugs)))
 	e.om.spillsC.Add(int64(cp.Spills))
 	e.om.cpErrors.Add(int64(cp.CheckpointErrors))
@@ -756,11 +764,13 @@ func (e *engine) reportDeltaLocked() UnitReport {
 		Pruned:      e.pruned - e.repPruned,
 		PrefixForks: e.prefixForks - e.repForks,
 		StepsSaved:  e.stepsSaved - e.repSaved,
+		RaceReports: e.races - e.repRaces,
 		Created:     e.pendingCreated,
 		Bugs:        append([]Bug(nil), e.bugs[e.repBugs:]...),
 	}
 	e.repExecs, e.repSteps, e.repBugs = e.execs, e.steps, len(e.bugs)
 	e.repPruned, e.repForks, e.repSaved = e.pruned, e.prefixForks, e.stepsSaved
+	e.repRaces = e.races
 	e.pendingCreated = [numDecisionKinds]int{}
 	return rep
 }
@@ -1098,6 +1108,8 @@ func (e *engine) mergeLocked(w *worker) {
 	w.mergedForks = ck.stats.PrefixForks
 	e.stepsSaved += ck.stats.StepsSaved - w.mergedSaved
 	w.mergedSaved = ck.stats.StepsSaved
+	e.races += ck.stats.RaceReports - w.mergedRaces
+	w.mergedRaces = ck.stats.RaceReports
 	for _, b := range ck.bugs[w.mergedBugs:] {
 		key := b.Kind.String() + ":" + b.Message
 		if !e.seen[key] {

@@ -78,8 +78,9 @@ func (m *Machine) Failed() bool { return m.failed }
 // their buffer state) are pooled across executions like machines.
 func (m *Machine) Thread(name string, fn func(*Thread)) *Thread {
 	ck := m.ck
+	n := len(ck.threads)
 	var t *Thread
-	if n := len(ck.threads); n < cap(ck.threads) && ck.threads[:n+1][n] != nil {
+	if n < cap(ck.threads) && ck.threads[:n+1][n] != nil {
 		ck.threads = ck.threads[:n+1]
 		t = ck.threads[n]
 		t.tb.Reset()
@@ -88,6 +89,7 @@ func (m *Machine) Thread(name string, fn func(*Thread)) *Thread {
 		ck.threads = append(ck.threads, t)
 	}
 	t.ck = ck
+	t.idx = n
 	t.mach = m
 	t.name = name
 	t.st = ck.sch.NewThread(int(m.id), name, func(*sched.Thread) { fn(t) })
@@ -127,8 +129,9 @@ func (p *Program) Init64(addr Addr, val uint64) {
 // such a forced release.
 func (p *Program) NewMutex(name string) *Mutex {
 	ck := p.ck
+	n := len(ck.mutexes)
 	var mu *Mutex
-	if n := len(ck.mutexes); n < cap(ck.mutexes) && ck.mutexes[:n+1][n] != nil {
+	if n < cap(ck.mutexes) && ck.mutexes[:n+1][n] != nil {
 		ck.mutexes = ck.mutexes[:n+1]
 		mu = ck.mutexes[n]
 		mu.waiters = mu.waiters[:0]
@@ -138,6 +141,7 @@ func (p *Program) NewMutex(name string) *Mutex {
 	}
 	mu.ck = ck
 	mu.name = name
+	mu.idx = n
 	mu.owner = nil
 	mu.releasedByFailure = false
 	ck.fp.record("mutex", name)

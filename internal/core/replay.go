@@ -56,7 +56,8 @@ func decodeReproToken(s string) (*reproToken, error) {
 // with CaptureTrace forced on so the result's bug carries its event
 // trace. The token pins the seed; the remaining exploration-relevant
 // configuration (GPF, Poison, EagerReadSet, CommitChance,
-// MaxStepsPerExec, MemSize, MaxEventsPerExec, Reduction) and the program
+// MaxStepsPerExec, MemSize, MaxEventsPerExec, Reduction, RaceDetect and
+// its UnflushedLines) and the program
 // structure must match the recording run, and a mismatch is rejected
 // with a descriptive error. PrefixFork is not part of the digest — a
 // replay always re-executes in full regardless of its setting. The
@@ -77,7 +78,7 @@ func Replay(token string, cfg Config, program func(*Program)) (*Result, error) {
 	cfg.CaptureTrace = true
 	cfg.fillDefaults()
 	if d := configDigest(cfg); d != tok.Config {
-		return nil, fmt.Errorf("cxlmc: repro token was recorded under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize/MaxEventsPerExec/Reduction must match the recording run",
+		return nil, fmt.Errorf("cxlmc: repro token was recorded under a different configuration (digest %s, this run %s): GPF/Poison/EagerReadSet/CommitChance/MaxStepsPerExec/MemSize/MaxEventsPerExec/Reduction/RaceDetect must match the recording run",
 			tok.Config, d)
 	}
 	progDigest, err := programDigestOf(cfg, program)

@@ -17,6 +17,7 @@ type Thread struct {
 	ck   *Checker
 	mach *Machine
 	name string
+	idx  int // creation index: position in ck.threads
 	st   *sched.Thread
 	tb   *memmodel.ThreadBuf
 }
@@ -73,6 +74,9 @@ func (t *Thread) CLFlush(a Addr) {
 	t.enter()
 	t.ck.checkRange(a, 1)
 	t.tb.ExecClflush(a)
+	if t.ck.observing {
+		t.ck.observeOp(t, OpFlush, a, 0, memmodel.LineOf(a), 0, "")
+	}
 }
 
 // CLFlushOpt executes clflushopt on the cache line containing a: weakly
@@ -82,6 +86,9 @@ func (t *Thread) CLFlushOpt(a Addr) {
 	t.enter()
 	t.ck.checkRange(a, 1)
 	t.tb.ExecClflushopt(a, t.ck.mem.Seq())
+	if t.ck.observing {
+		t.ck.observeOp(t, OpFlush, a, 0, memmodel.LineOf(a), 0, "")
+	}
 }
 
 // CLWB executes clwb, which CXLMC treats identically to clflushopt
@@ -94,6 +101,9 @@ func (t *Thread) CLWB(a Addr) { t.CLFlushOpt(a) }
 func (t *Thread) SFence() {
 	t.enter()
 	t.tb.ExecSfence()
+	if t.ck.observing {
+		t.ck.observeOp(t, OpSFence, 0, 0, 0, 0, "")
+	}
 }
 
 // MFence executes mfence: all buffered stores and flushes of this thread
@@ -174,13 +184,29 @@ func (t *Thread) Join(m *Machine) (failedMachine bool) {
 	t.enter()
 	for {
 		if m.failed {
+			t.raceJoinMachine(m)
 			return true
 		}
 		if m.quiesced() {
+			t.raceJoinMachine(m)
 			return false
 		}
 		m.joiners = append(m.joiners, t)
 		t.st.Block("join " + m.name)
+	}
+}
+
+// raceJoinMachine orders everything m's threads did before t continues:
+// a returned Join is the failure detector / termination observation the
+// program synchronizes on. A failed machine's threads count too —
+// whatever they did before the failure happened before the detector
+// reported it.
+func (t *Thread) raceJoinMachine(m *Machine) {
+	if !t.ck.race.on {
+		return
+	}
+	for _, tgt := range m.threads {
+		t.ck.raceJoinThread(t, tgt)
 	}
 }
 
@@ -199,6 +225,11 @@ func (t *Thread) JoinThreads(targets ...*Thread) {
 			}
 		}
 		if !pending {
+			if t.ck.race.on {
+				for _, tgt := range targets {
+					t.ck.raceJoinThread(t, tgt)
+				}
+			}
 			return
 		}
 		// Register with every involved machine; joiner lists are cleared

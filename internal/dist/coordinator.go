@@ -70,6 +70,7 @@ type Coordinator struct {
 	basePruned  int64
 	baseForks   int64
 	baseSaved   int64
+	baseRaces   int64
 	baseCreated [core.NumDecisionKinds]int
 	baseBugs    []core.Bug
 	prior       time.Duration
@@ -232,6 +233,7 @@ func (c *Coordinator) seedUnits() ([][]byte, error) {
 	c.basePruned = cp.Pruned
 	c.baseForks = cp.PrefixForks
 	c.baseSaved = cp.StepsSaved
+	c.baseRaces = cp.RaceReports
 	c.prior = cp.Elapsed
 	c.baseBugs = append([]core.Bug(nil), cp.Bugs...)
 	c.degraded = cp.Degraded
@@ -536,6 +538,7 @@ func (c *Coordinator) checkpointLoop() {
 func (c *Coordinator) writeCheckpoint(complete bool) error {
 	execs, steps, created, bugs, _, _ := c.f.Progress()
 	pruned, forks, saved := c.f.ReductionTotals()
+	races := c.f.RaceReportTotal()
 	units := c.f.OutstandingSnapshots()
 	cp := core.NewCheckpoint(c.cfg.Check.Seed, c.cfgDigest, c.progDigest)
 	cp.Units = units
@@ -548,6 +551,7 @@ func (c *Coordinator) writeCheckpoint(complete bool) error {
 	cp.Pruned = c.basePruned + pruned
 	cp.PrefixForks = c.baseForks + forks
 	cp.StepsSaved = c.baseSaved + saved
+	cp.RaceReports = c.baseRaces + races
 	cp.Elapsed = c.prior + time.Since(c.start)
 	cp.Complete = complete
 	cp.Interrupted = c.interrupted
@@ -635,6 +639,7 @@ func (c *Coordinator) Wait(stop <-chan struct{}) (*core.Result, error) {
 	c.srv.Close()
 	execs, steps, created, bugs, _, _ := c.f.Progress()
 	pruned, forks, saved := c.f.ReductionTotals()
+	races := c.f.RaceReportTotal()
 	fs := c.f.Stats()
 	c.f.Close()
 	c.mu.Lock()
@@ -645,6 +650,7 @@ func (c *Coordinator) Wait(stop <-chan struct{}) (*core.Result, error) {
 		Pruned:           c.basePruned + pruned,
 		PrefixForks:      c.baseForks + forks,
 		StepsSaved:       c.baseSaved + saved,
+		RaceReports:      c.baseRaces + races,
 		Elapsed:          c.prior + time.Since(c.start),
 		Complete:         complete,
 		Interrupted:      c.interrupted,

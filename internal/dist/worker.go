@@ -55,7 +55,7 @@ type RemoteFrontier struct {
 	wanted  atomic.Int64
 	stales  atomic.Int64
 	reqSeq  atomic.Int64
-	lastRep atomic.Int64 // transport retries already reported upstream
+	lastRep atomic.Int64  // transport retries already reported upstream
 	stopped chan struct{} // closed when the coordinator says stop/done
 	stopOne sync.Once
 

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	cxlmc "repro"
+	"repro/internal/dist"
+)
+
+// The race-detector parity suite: the RaceVariant programs (one insert
+// worker racing — or not — with an observer on another machine) must be
+// flagged by the happens-before detector exactly when the race is
+// seeded, with identical results serially, under four workers, and
+// across a distributed coordinator/worker pair, and race repro tokens
+// must replay.
+
+// raceKindBugs filters the detector's bug kinds out of a result.
+func raceKindBugs(res *cxlmc.Result) []cxlmc.Bug {
+	var out []cxlmc.Bug
+	for _, b := range res.Bugs {
+		if b.Kind == cxlmc.BugDataRace || b.Kind == cxlmc.BugUnflushedPublish {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func raceCfg(workers int) cxlmc.Config {
+	return cxlmc.Config{
+		Workers: workers, ContinueAfterBug: true, MaxExecutions: 2_000_000,
+		RaceDetect: cxlmc.SwitchOn,
+	}
+}
+
+// TestRaceVariantParity: for two RECIPE structures (the Table 5
+// acceptance workload and the lock-free-lookup hash table), the seeded
+// variant yields at least one data race in every mode with the same
+// distinct-bug set and the same pre-dedup report count serially and
+// under four workers, the race token replays, and the race-free variant
+// yields zero detector bugs and zero reports.
+func TestRaceVariantParity(t *testing.T) {
+	for _, name := range []string{"CCEH", "P-CLHT"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %q missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			seeded := RaceVariant(b, 3, true)
+			free := RaceVariant(b, 3, false)
+
+			ser, err := cxlmc.Run(raceCfg(1), seeded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ser.Complete {
+				t.Fatal("seeded serial exploration incomplete")
+			}
+			races := raceKindBugs(ser)
+			if len(races) == 0 {
+				t.Fatalf("seeded variant: no data race detected; bugs: %v", ser.Bugs)
+			}
+			if ser.RaceReports == 0 {
+				t.Fatal("seeded variant: Stats.RaceReports is zero despite race bugs")
+			}
+
+			par, err := cxlmc.Run(raceCfg(4), seeded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBugs(t, "seeded serial", ser, "seeded workers=4", par)
+			if par.RaceReports != ser.RaceReports {
+				t.Fatalf("race reports diverged: serial %d, workers=4 %d", ser.RaceReports, par.RaceReports)
+			}
+
+			// Every race token must replay to the same race.
+			replayAll(t, "seeded serial", ser, cxlmc.Config{RaceDetect: cxlmc.SwitchOn}, seeded)
+
+			clean, err := cxlmc.Run(raceCfg(1), free)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !clean.Complete {
+				t.Fatal("race-free exploration incomplete")
+			}
+			if got := raceKindBugs(clean); len(got) != 0 {
+				t.Fatalf("race-free variant flagged: %v", got)
+			}
+			if clean.RaceReports != 0 {
+				t.Fatalf("race-free variant: %d race reports, want 0", clean.RaceReports)
+			}
+			t.Logf("%s: %d distinct race bug(s), %d report(s), %d/%d execs (seeded/free)",
+				name, len(races), ser.RaceReports, ser.Executions, clean.Executions)
+		})
+	}
+}
+
+// TestRaceParityDistributed: a coordinator with two HTTP workers
+// exploring the seeded CCEH variant reports exactly the serial run's
+// distinct-bug set and pre-dedup race-report count — the wire
+// round-trip of the RaceReports delta and the digest handshake with
+// RaceDetect folded in.
+func TestRaceParityDistributed(t *testing.T) {
+	b, _ := ByName("CCEH")
+	seeded := RaceVariant(b, 3, true)
+	check := cxlmc.Config{ContinueAfterBug: true, RaceDetect: cxlmc.SwitchOn}
+
+	ser, err := cxlmc.Run(raceCfg(1), seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := dist.StartCoordinator(dist.CoordinatorConfig{
+		Check: check, Program: seeded, Addr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := dist.RunWorker(dist.WorkerConfig{
+				Check: check, Program: seeded,
+				Coordinator: c.Addr(), Name: fmt.Sprintf("w%d", i),
+			}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	res, err := c.Wait(nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("distributed run incomplete")
+	}
+	if len(raceKindBugs(res)) == 0 {
+		t.Fatalf("distributed run missed the seeded race; bugs: %v", res.Bugs)
+	}
+	sameBugs(t, "distributed", res, "serial", ser)
+	if res.RaceReports != ser.RaceReports {
+		t.Fatalf("race reports diverged over the wire: distributed %d, serial %d", res.RaceReports, ser.RaceReports)
+	}
+	replayAll(t, "distributed", res, cxlmc.Config{RaceDetect: cxlmc.SwitchOn}, seeded)
+	t.Logf("distributed race parity: %d report(s) across %d execs", res.RaceReports, res.Executions)
+}

@@ -37,6 +37,11 @@ const (
 	EvLeaseReclaim
 	EvLeaseStale
 	EvRPCRetry
+	// Analysis events: a happens-before race (or crash-exposed unflushed
+	// publish) reported by the dynamic detector, and a finding emitted by
+	// the cxlvet static pre-pass.
+	EvDataRace
+	EvVetFinding
 	numEventKinds
 )
 
@@ -82,6 +87,10 @@ func (k EventKind) String() string {
 		return "lease-stale"
 	case EvRPCRetry:
 		return "rpc-retry"
+	case EvDataRace:
+		return "data-race"
+	case EvVetFinding:
+		return "vet-finding"
 	}
 	return "unknown"
 }

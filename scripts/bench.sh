@@ -23,7 +23,7 @@ benchtime=3x
 pattern='BenchmarkTable5|BenchmarkParallelScaling|BenchmarkFigure|BenchmarkObsOverhead'
 if [ "${1:-}" = "--short" ]; then
     benchtime=1x
-    pattern='BenchmarkTable5/CCEH$|BenchmarkTable5/CCEH_ReductionOff$|BenchmarkParallelScaling|BenchmarkFigure3|BenchmarkObsOverhead'
+    pattern='BenchmarkTable5/CCEH$|BenchmarkTable5/CCEH_ReductionOff$|BenchmarkTable5/CCEH_RaceDetectOff$|BenchmarkParallelScaling|BenchmarkFigure3|BenchmarkObsOverhead'
 fi
 
 date="$(date +%Y%m%d)"
