@@ -17,6 +17,10 @@
 //	      [-serve addr | -join addr] [-lease-ttl d] [-continue] [-worker-name s]
 //	cxlmc -vet -bench NAME
 //	cxlmc -stress N [-seed 0] [-chaos]
+//	cxlmc -jobserver addr -jobs-dir dir [-job-workers 2] [-queue-depth 32]
+//	cxlmc submit -addr host:port -bench NAME [flags] [-wait]
+//	cxlmc status|cancel|wait -addr host:port JOB-ID
+//	cxlmc jobs -addr host:port [-tenant name]
 //
 // -bench names one of the RECIPE benchmarks (CCEH, FAST_FAIR, P-ART,
 // P-BwTree, P-CLHT, P-MassTree), a CXL-SHM case (kv, test_stress), or
@@ -88,6 +92,18 @@
 // inject network faults (drops, delays, duplicates, partitions, 5xx)
 // into the worker↔coordinator RPCs.
 //
+// Checking as a service: -jobserver runs this process as a long-lived,
+// multi-tenant job server. Clients submit exploration jobs (a benchmark
+// or generated recipe plus a whitelisted subset of the checker's
+// configuration) over a REST API — POST /jobs, GET /jobs/{id}, POST
+// /jobs/{id}/cancel, GET /jobs/{id}/events (server-sent events) — or
+// through the submit/status/cancel/wait/jobs verbs. Jobs are journaled
+// to -jobs-dir together with per-job engine checkpoints: a kill -9
+// followed by a restart on the same directory resumes running jobs from
+// their last checkpoint and re-queues queued ones, losing and
+// duplicating nothing. SIGTERM drains gracefully (exit 0); a second
+// signal force-exits with code 3.
+//
 // -stress N runs the self-fuzzing harness over N seeded random
 // programs (starting at -seed), checking the checker's own invariants:
 // no panics, serial/parallel parity, every repro token replays. With
@@ -121,10 +137,23 @@ import (
 )
 
 func main() {
-	// The body lives in run so its defers (profile writers, in
-	// particular) execute before the process exits: os.Exit skips
+	// The body lives in dispatch/run so their defers (profile writers,
+	// in particular) execute before the process exits: os.Exit skips
 	// deferred calls.
-	os.Exit(run())
+	os.Exit(dispatch())
+}
+
+// dispatch routes the job-client verbs (cxlmc submit|status|cancel|wait|
+// jobs ...) to the job-server client and everything else to the classic
+// flag-driven run.
+func dispatch() int {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "submit", "status", "cancel", "wait", "jobs":
+			return runJobVerb(os.Args[1], os.Args[2:])
+		}
+	}
+	return run()
 }
 
 func run() int {
@@ -167,6 +196,11 @@ func run() int {
 		contBug    = flag.Bool("continue", false, "keep exploring after the first bug instead of stopping")
 		workerName = flag.String("worker-name", "", "name this worker reports to the coordinator (with -join; default worker-<pid>)")
 
+		jobServer  = flag.String("jobserver", "", "run as a multi-tenant job server: accept exploration jobs over a REST API on this address (\":0\" picks a port)")
+		jobsDir    = flag.String("jobs-dir", "", "durable job store directory — journal plus per-job checkpoints (required with -jobserver)")
+		jobWorkers = flag.Int("job-workers", 0, "jobs the server runs concurrently (with -jobserver; 0 = 2)")
+		queueDepth = flag.Int("queue-depth", 0, "queued jobs allowed per tenant before submissions get 429 (with -jobserver; 0 = 32)")
+
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /statusz and /debug/pprof on this address for the duration of the run (\":0\" picks a port)")
 		progressEach = flag.Duration("progress", 0, "print a one-line progress report to stderr at this cadence (0 = off)")
 		eventLog     = flag.String("event-log", "", "stream the structured exploration event trace to this file as JSON lines")
@@ -188,8 +222,12 @@ func run() int {
 			*stress, *seed, *seed+int64(*stress)-1)
 		return 0
 	}
-	if *bench == "" {
+	if *bench == "" && *jobServer == "" {
 		fmt.Fprintln(os.Stderr, "cxlmc: -bench is required (try -list)")
+		return 2
+	}
+	if *jobServer != "" && (*serveAddr != "" || *joinAddr != "" || *replay != "" || *vetOnly || *bench != "") {
+		fmt.Fprintln(os.Stderr, "cxlmc: -jobserver is a standalone mode; submit programs as jobs (cxlmc submit) instead of -bench/-serve/-join/-replay/-vet")
 		return 2
 	}
 	if *checkpoint != "" && *seeds > 1 {
@@ -313,6 +351,13 @@ func run() int {
 	}
 	cfg.ProgressEvery = *progressEach
 
+	if *jobServer != "" {
+		// Checking as a service: cfg carries the server-owned part of
+		// every job's engine config (governor defaults, chaos, metrics);
+		// specs arrive over the API.
+		return runJobServer(*jobServer, *jobsDir, *jobWorkers, *queueDepth, cfg, cfg.EventTrace)
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -405,15 +450,19 @@ func run() int {
 	// Ctrl-C or SIGTERM (the signal process supervisors and batch
 	// schedulers send) requests graceful interruption: the run stops at
 	// the next execution boundary and, with -checkpoint, persists its
-	// progress. A second signal kills the process the usual way.
+	// progress. A second signal force-exits immediately with code 3 —
+	// distinct from the bug (1) and usage (2) codes so supervisors can
+	// tell "operator gave up on the drain" from "run failed".
 	stop := make(chan struct{})
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Fprintf(os.Stderr, "cxlmc: %v — stopping at the next execution boundary (again to kill)\n", s)
+		fmt.Fprintf(os.Stderr, "cxlmc: %v — stopping at the next execution boundary (again to force-exit)\n", s)
 		close(stop)
-		signal.Stop(sig)
+		s = <-sig
+		fmt.Fprintf(os.Stderr, "cxlmc: %v again — forced exit, skipping the graceful stop\n", s)
+		os.Exit(3)
 	}()
 	cfg.Stop = stop
 

@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"syscall"
+	"time"
+
 	"os"
 	"os/exec"
+	"repro/internal/harness"
+	"repro/internal/recipe"
 	"strings"
 	"testing"
 
@@ -15,7 +23,7 @@ import (
 // actual CLI surface including the exit-code contract.
 func TestMain(m *testing.M) {
 	if os.Getenv("CXLMC_TEST_MAIN") == "1" {
-		os.Exit(run())
+		os.Exit(dispatch())
 	}
 	os.Exit(m.Run())
 }
@@ -93,4 +101,236 @@ func TestVetRejectsDistModes(t *testing.T) {
 	if code != 2 {
 		t.Errorf("-vet -serve exited %d, want 2", code)
 	}
+}
+
+// startCLI re-execs the test binary as cxlmc with args, returning the
+// running command and a line-buffered channel of its stderr — for tests
+// that interact with a live process (signals, servers).
+func startCLI(t *testing.T, args ...string) (*exec.Cmd, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CXLMC_TEST_MAIN=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %v: %v", args, err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return cmd, lines
+}
+
+// waitLine reads stderr lines until one contains substr, failing after
+// the timeout. Non-matching lines are discarded.
+func waitLine(t *testing.T, lines <-chan string, substr string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("stderr closed before %q appeared", substr)
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("no %q on stderr within %v", substr, timeout)
+		}
+	}
+}
+
+// exitCode waits for the process and returns its exit code.
+func exitCode(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	err := cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("wait: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestSecondSignalForceExit pins the signal contract: the first SIGTERM
+// asks for a graceful stop at the next execution boundary; a second one
+// force-exits immediately with the distinct exit code 3, so supervisors
+// can tell an abandoned drain from a failed run.
+func TestSecondSignalForceExit(t *testing.T) {
+	// A long exploration (reduction off blows P-BwTree up to ~2.7k
+	// executions) so both signals land mid-run.
+	cmd, lines := startCLI(t,
+		"-bench", "P-BwTree", "-keys", "8", "-insert-workers", "2",
+		"-bugs", "1", "-continue", "-reduction", "off")
+	time.Sleep(100 * time.Millisecond) // let the exploration start
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine(t, lines, "stopping at the next execution boundary", 10*time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine(t, lines, "forced exit", 10*time.Second)
+	if code := exitCode(t, cmd); code != 3 {
+		t.Fatalf("second signal exited %d, want 3", code)
+	}
+}
+
+// TestJobServerEndToEnd drives the checking-as-a-service mode through
+// the real binary: start a server, submit a job with the submit verb and
+// wait for it, poll it with status, list it with jobs, then SIGTERM the
+// server and require a clean drain (exit 0).
+func TestJobServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, lines := startCLI(t, "-jobserver", "127.0.0.1:0", "-jobs-dir", dir)
+	banner := waitLine(t, lines, "job server on ", 10*time.Second)
+	addr := strings.Fields(strings.SplitN(banner, "job server on ", 2)[1])[0]
+
+	out, code := runCLI(t, "submit", "-addr", addr,
+		"-bench", "CCEH", "-keys", "4", "-insert-workers", "1",
+		"-bugs", "1", "-continue", "-wait", "-poll", "20ms")
+	if code != 0 {
+		t.Fatalf("submit -wait exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, `"state": "done"`) || !strings.Contains(out, `"Bugs"`) {
+		t.Fatalf("submit -wait output missing done state or bugs:\n%s", out)
+	}
+	var fin struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &fin); err != nil || fin.ID == "" {
+		t.Fatalf("submit -wait output is not a status JSON (%v):\n%s", err, out)
+	}
+
+	out, code = runCLI(t, "status", "-addr", addr, fin.ID)
+	if code != 0 || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status exited %d:\n%s", code, out)
+	}
+	out, code = runCLI(t, "jobs", "-addr", addr)
+	if code != 0 || !strings.Contains(out, fin.ID) {
+		t.Fatalf("jobs exited %d:\n%s", code, out)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine(t, lines, "drained clean", 30*time.Second)
+	if code := exitCode(t, srv); code != 0 {
+		t.Fatalf("drained server exited %d, want 0", code)
+	}
+}
+
+// TestJobServerKill9Restart is the real-process restart guarantee: kill
+// the server with SIGKILL mid-run — no drain, no final journal write —
+// restart it on the same directory, and the job must still complete with
+// the bug set an uninterrupted run finds.
+func TestJobServerKill9Restart(t *testing.T) {
+	dir := t.TempDir()
+	srv, lines := startCLI(t, "-jobserver", "127.0.0.1:0", "-jobs-dir", dir,
+		"-checkpoint-every", "25", "-checkpoint-interval", "50ms", "-progress", "10ms")
+	banner := waitLine(t, lines, "job server on ", 10*time.Second)
+	addr := strings.Fields(strings.SplitN(banner, "job server on ", 2)[1])[0]
+
+	out, code := runCLI(t, "submit", "-addr", addr,
+		"-bench", "P-BwTree", "-keys", "8", "-insert-workers", "2",
+		"-bugs", "1", "-continue", "-reduction", "off")
+	if code != 0 {
+		t.Fatalf("submit exited %d:\n%s", code, out)
+	}
+	id := strings.TrimSpace(out)
+
+	// Wait until the job has real progress (its checkpoint cadence is 25
+	// executions, so >=100 guarantees checkpoints on disk), then SIGKILL.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached 100 executions")
+		}
+		out, _ := runCLI(t, "status", "-addr", addr, id)
+		var st struct {
+			State    string `json:"state"`
+			Progress *struct {
+				Executions int `json:"executions"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal([]byte(out), &st); err == nil &&
+			st.State == "running" && st.Progress != nil && st.Progress.Executions >= 100 {
+			break
+		}
+		if st.State == "done" || st.State == "failed" {
+			t.Fatalf("job finished before the kill: %s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := srv.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	// The uninterrupted control, straight through the engine.
+	control, err := cxlmc.Run(cxlmc.Config{
+		Workers: 1, ContinueAfterBug: true, Reduction: cxlmc.SwitchOff,
+	}, recipe.Program(mustBench(t, "P-BwTree"), recipe.Config{
+		Keys: 8, Workers: 2, Bugs: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, lines2 := startCLI(t, "-jobserver", "127.0.0.1:0", "-jobs-dir", dir,
+		"-checkpoint-every", "25", "-checkpoint-interval", "50ms", "-progress", "10ms")
+	banner2 := waitLine(t, lines2, "job server on ", 10*time.Second)
+	addr2 := strings.Fields(strings.SplitN(banner2, "job server on ", 2)[1])[0]
+
+	out, code = runCLI(t, "wait", "-addr", addr2, "-poll", "20ms", id)
+	if code != 0 {
+		t.Fatalf("wait after kill -9 exited %d:\n%s", code, out)
+	}
+	var fin struct {
+		State  string `json:"state"`
+		Result *struct {
+			Executions int `json:"Executions"`
+			Bugs       []struct {
+				Kind    int
+				Message string
+			}
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &fin); err != nil {
+		t.Fatalf("wait output: %v\n%s", err, out)
+	}
+	if fin.State != "done" || fin.Result == nil {
+		t.Fatalf("job after kill -9 restart: %s", out)
+	}
+	if fin.Result.Executions != control.Executions {
+		t.Errorf("executions %d after kill -9 restart, control %d", fin.Result.Executions, control.Executions)
+	}
+	if len(fin.Result.Bugs) != len(control.Bugs) {
+		t.Errorf("bug count %d after kill -9 restart, control %d", len(fin.Result.Bugs), len(control.Bugs))
+	}
+	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine(t, lines2, "drained clean", 30*time.Second)
+}
+
+func mustBench(t *testing.T, name string) recipe.Benchmark {
+	t.Helper()
+	b, ok := harness.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	return b
 }

@@ -61,6 +61,30 @@ func (s Switch) String() string {
 	return "default"
 }
 
+// MarshalText encodes the switch as "on", "off" or "default", so Switch
+// fields round-trip through JSON job specs and config files as the same
+// words the CLI flags use.
+func (s Switch) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses "on", "off", "default" or "" (the last two both
+// meaning SwitchDefault). Anything else is rejected with an error naming
+// the accepted values.
+func (s *Switch) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "on":
+		*s = SwitchOn
+	case "off":
+		*s = SwitchOff
+	case "", "default":
+		*s = SwitchDefault
+	default:
+		return fmt.Errorf("cxlmc: bad switch value %q: want on, off or default", text)
+	}
+	return nil
+}
+
 // Config controls a model-checking run.
 type Config struct {
 	// Seed fixes the thread schedule and store-buffer commit timing.

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSwitchTextRoundTrip: every Switch value survives a JSON round trip
+// as the word the CLI uses, and the empty string decodes as the default.
+func TestSwitchTextRoundTrip(t *testing.T) {
+	for _, s := range []Switch{SwitchDefault, SwitchOn, SwitchOff} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Switch
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != s {
+			t.Fatalf("round trip %v -> %s -> %v", s, data, back)
+		}
+	}
+	var s Switch
+	if err := s.UnmarshalText(nil); err != nil || s != SwitchDefault {
+		t.Fatalf(`"" = %v, %v; want default, nil`, s, err)
+	}
+	if err := s.UnmarshalText([]byte("maybe")); err == nil {
+		t.Fatal("bad switch value accepted")
+	}
+}

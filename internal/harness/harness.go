@@ -41,6 +41,23 @@ func ByName(name string) (recipe.Benchmark, bool) {
 	return recipe.Benchmark{}, false
 }
 
+// ProgramByName resolves a benchmark name to its program constructor:
+// first the six RECIPE benchmarks (rc shapes the workload and seeds its
+// bugs), then the CXL-SHM cases (which take only the bug mask). It is
+// the single name→program mapping the CLI and the job server share, so
+// a job submitted by name runs exactly the program `cxlmc -bench` does.
+func ProgramByName(name string, rc recipe.Config) (func(*cxlmc.Program), bool) {
+	if b, ok := ByName(name); ok {
+		return recipe.Program(b, rc), true
+	}
+	for _, c := range cxlshm.Cases {
+		if c.Name == name {
+			return c.Program(cxlshm.Bug(rc.Bugs)), true
+		}
+	}
+	return nil, false
+}
+
 // Table5Config is the paper's performance configuration (§6.3): two
 // processes of two threads each (one worker + one checker per machine)
 // and a total of 10 keys.

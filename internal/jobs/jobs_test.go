@@ -1,0 +1,461 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	cxlmc "repro"
+	"repro/internal/chaos"
+)
+
+// testServer starts a server on an ephemeral port with test-friendly
+// cadences, registering cleanup.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = 5 * time.Millisecond
+	}
+	if cfg.RetryCap == 0 {
+		cfg.RetryCap = 100 * time.Millisecond
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 8
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 50 * time.Millisecond
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 20 * time.Millisecond
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// fastSpec is a small CCEH exploration that finds two seeded bugs in a
+// few milliseconds.
+func fastSpec(tenant string) Spec {
+	return Spec{
+		Tenant: tenant, Bench: "CCEH", Keys: 4, InsertWorkers: 1,
+		Bugs: 1, Seed: 1, ContinueAfterBug: true,
+	}
+}
+
+// A job submitted over the API runs to done and reports the same bugs a
+// direct engine run finds.
+func TestJobLifecycleDone(t *testing.T) {
+	s := testServer(t, Config{})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 30*time.Second)
+
+	st, err := c.Submit(ctx, fastSpec("alice"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatalf("submit status = %+v, want an id", st)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Result == nil || len(fin.Result.Bugs) == 0 {
+		t.Fatalf("done without bugs in result: %+v", fin.Result)
+	}
+	if !fin.Result.Complete {
+		t.Fatal("result not marked complete")
+	}
+	snap := s.Registry().Snapshot()
+	if snap["cxlmc_jobs_done"] != 1 || snap["cxlmc_jobs_queued"] != 1 {
+		t.Fatalf("metrics: done=%v queued=%v, want 1/1", snap["cxlmc_jobs_done"], snap["cxlmc_jobs_queued"])
+	}
+}
+
+// Bad specs are rejected at submit time with a 400, including unknown
+// fields — the whitelist is strict.
+func TestSubmitValidation(t *testing.T) {
+	s := testServer(t, Config{})
+	url := "http://" + s.Addr() + "/jobs"
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"no program", `{"tenant":"a"}`},
+		{"both programs", `{"bench":"CCEH","gen":{"seed":1}}`},
+		{"unknown bench", `{"bench":"B-Tree-9000"}`},
+		{"unknown field", `{"bench":"CCEH","checkpoint_path":"/etc/passwd"}`},
+		{"non-whitelisted knob", `{"bench":"CCEH","spill_dir":"/tmp"}`},
+		{"bad tenant", `{"bench":"CCEH","tenant":"../../etc"}`},
+		{"negative", `{"bench":"CCEH","keys":-1}`},
+	} {
+		resp, err := http.Post(url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if snap := s.Registry().Snapshot(); snap["cxlmc_jobs_queued"] != 0 {
+		t.Fatalf("rejected specs were queued: %v", snap["cxlmc_jobs_queued"])
+	}
+}
+
+// A tenant at its queue bound gets 429 with a Retry-After hint, and the
+// rejection is counted; other tenants are unaffected.
+func TestQueueBound429(t *testing.T) {
+	// A single slow pool worker keeps the queue from draining while we
+	// fill it: the first job occupies the worker, the rest sit queued.
+	s := testServer(t, Config{PoolWorkers: 1, QueueDepth: 2})
+	url := "http://" + s.Addr() + "/jobs"
+
+	slow := Spec{
+		Tenant: "alice", Bench: "P-BwTree", Keys: 8, InsertWorkers: 2,
+		Bugs: 1, Seed: 1, ContinueAfterBug: true, Reduction: cxlmc.SwitchOff,
+	}
+	post := func(sp Spec) *http.Response {
+		body, _ := json.Marshal(sp)
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp
+	}
+	if got := post(slow).StatusCode; got != http.StatusAccepted {
+		t.Fatalf("first submit: %d, want 202", got)
+	}
+	// Give the pool a moment to claim it so the queue is empty again.
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if got := post(fastSpec("alice")).StatusCode; got != http.StatusAccepted {
+			t.Fatalf("fill submit %d: %d, want 202", i, got)
+		}
+	}
+	resp := post(fastSpec("alice"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant still gets in: the bound is per tenant.
+	if got := post(fastSpec("bob")).StatusCode; got != http.StatusAccepted {
+		t.Fatalf("other-tenant submit: %d, want 202", got)
+	}
+	if snap := s.Registry().Snapshot(); snap["cxlmc_jobs_rejected"] != 1 {
+		t.Fatalf("rejected = %v, want 1", snap["cxlmc_jobs_rejected"])
+	}
+}
+
+// The queue drains round-robin across tenants: with one worker and a
+// burst from one tenant queued first, a later-submitted second-tenant
+// job still runs second, not last.
+func TestTenantFairness(t *testing.T) {
+	q := newFairQueue(10)
+	mk := func(id, tenant string) *job { return &job{id: id, tenant: tenant} }
+	q.push(mk("a1", "alice"))
+	q.push(mk("a2", "alice"))
+	q.push(mk("a3", "alice"))
+	q.push(mk("b1", "bob"))
+	q.push(mk("c1", "carol"))
+	var order []string
+	for i := 0; i < 5; i++ {
+		order = append(order, q.pop().id)
+	}
+	got := strings.Join(order, ",")
+	// Alice gets one slot per round, interleaved with bob and carol.
+	want := "a1,b1,c1,a2,a3"
+	if got != want {
+		t.Fatalf("drain order %s, want %s", got, want)
+	}
+}
+
+// Cancelling a queued job ends it without running; cancelling a running
+// job stops the engine at its next execution boundary.
+func TestCancel(t *testing.T) {
+	s := testServer(t, Config{PoolWorkers: 1})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 30*time.Second)
+
+	slow := Spec{
+		Tenant: "a", Bench: "P-BwTree", Keys: 8, InsertWorkers: 2,
+		Bugs: 1, Seed: 1, ContinueAfterBug: true, Reduction: cxlmc.SwitchOff,
+	}
+	running, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(ctx, fastSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The queued job cancels instantly.
+	if st, err := c.Cancel(ctx, queued.ID); err != nil || st.State != StateCancelled {
+		t.Fatalf("cancel queued: state=%v err=%v, want cancelled", st.State, err)
+	}
+	// Wait until the slow job is actually running, then cancel it.
+	for {
+		st, err := c.Status(ctx, running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	fin, err := c.Wait(ctx, running.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", fin.State)
+	}
+	// Cancelling a terminal job is a conflict.
+	if _, err := c.Cancel(ctx, running.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("cancel terminal: err=%v, want 409", err)
+	}
+	snap := s.Registry().Snapshot()
+	if snap["cxlmc_jobs_cancelled"] != 2 {
+		t.Fatalf("cancelled = %v, want 2", snap["cxlmc_jobs_cancelled"])
+	}
+}
+
+// The SSE stream reports state transitions and ends at the terminal one.
+func TestEventsSSE(t *testing.T) {
+	s := testServer(t, Config{})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 30*time.Second)
+
+	st, err := c.Submit(ctx, fastSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+s.Addr()+"/jobs/"+st.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var states []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() { // the server closes the stream after the terminal event
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Status
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue // progress events decode too, but loosely; only track statuses
+		}
+		if ev.ID == st.ID && (len(states) == 0 || states[len(states)-1] != string(ev.State)) {
+			states = append(states, string(ev.State))
+		}
+	}
+	joined := strings.Join(states, ",")
+	if !strings.HasSuffix(joined, string(StateDone)) {
+		t.Fatalf("stream states %q do not end in done", joined)
+	}
+}
+
+// A run killed by an injected transient fault is retried with backoff
+// and still completes with the right bugs.
+func TestTransientRetry(t *testing.T) {
+	inj := chaos.New(chaos.Config{Seed: 7, WriteErrPct: 20, RenameErrPct: 20})
+	s := testServer(t, Config{Chaos: inj, MaxRetries: 8})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 60*time.Second)
+
+	st, err := c.Submit(ctx, fastSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (%s), want done despite chaos", fin.State, fin.Error)
+	}
+	if fin.Result == nil || len(fin.Result.Bugs) == 0 {
+		t.Fatal("chaos-survived job lost its bugs")
+	}
+}
+
+// A job whose budget is far too small degrades repeatedly, resumes from
+// its checkpoint each time, and still finishes with the full result —
+// the governor pauses healthy work, it does not kill it.
+func TestDegradedJobCompletes(t *testing.T) {
+	s := testServer(t, Config{RetryBase: time.Millisecond, CheckpointEvery: 1})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 60*time.Second)
+
+	sp := fastSpec("a")
+	sp.MemBudgetBytes = 128 << 10
+	sp.GovernorEvery = 1
+	st, err := c.Submit(ctx, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Retries == 0 {
+		t.Fatal("tiny-budget job finished without a single degraded resume; shrink the budget")
+	}
+	if fin.Result == nil || !fin.Result.Complete || len(fin.Result.Bugs) == 0 {
+		t.Fatalf("degraded job result incomplete: %+v", fin.Result)
+	}
+	snap := s.Registry().Snapshot()
+	if snap["cxlmc_jobs_degraded"] == 0 || snap["cxlmc_jobs_retried"] == 0 {
+		t.Fatalf("degraded=%v retried=%v, want both > 0", snap["cxlmc_jobs_degraded"], snap["cxlmc_jobs_retried"])
+	}
+}
+
+// Drain refuses new submissions, lets queued and running jobs persist,
+// and a restarted server finishes them.
+func TestDrainAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := testServer(t, Config{Dir: dir, PoolWorkers: 1})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 60*time.Second)
+
+	slow := Spec{
+		Tenant: "a", Bench: "P-BwTree", Keys: 8, InsertWorkers: 2,
+		Bugs: 1, Seed: 1, ContinueAfterBug: true, Reduction: cxlmc.SwitchOff,
+	}
+	j1, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Submit(ctx, fastSpec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let j1 start, then drain.
+	for {
+		st, err := c.Status(ctx, j1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Drain(ctxT(t, 30*time.Second)); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Submissions after drain are refused (the listener is down or
+	// answering 503; either way the submit fails).
+	if _, err := c.Submit(ctxT(t, time.Second), fastSpec("a")); err == nil {
+		t.Fatal("submit after drain succeeded")
+	}
+
+	// Restart on the same dir: both jobs must reach done, j1 resuming
+	// from its drain checkpoint rather than starting over.
+	s2 := testServer(t, Config{Dir: dir, PoolWorkers: 2})
+	c2 := NewClient(s2.Addr())
+	for _, id := range []string{j1.ID, j2.ID} {
+		fin, err := c2.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s after restart: %v", id, err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("%s after restart: %s (%s), want done", id, fin.State, fin.Error)
+		}
+	}
+	// A clean drain needs no crash recovery: the running job was
+	// journaled back to queued with its checkpoint on disk, so the
+	// resumed (crash-adoption) counter stays at zero.
+	snap := s2.Registry().Snapshot()
+	if snap["cxlmc_jobs_resumed"] != 0 {
+		t.Fatalf("resumed = %v, want 0 after a graceful drain", snap["cxlmc_jobs_resumed"])
+	}
+	if snap["cxlmc_jobs_done"] != 2 {
+		t.Fatalf("done = %v, want 2", snap["cxlmc_jobs_done"])
+	}
+}
+
+// /statusz and /metrics stay wired through the jobs routes.
+func TestObsEndpointsAlive(t *testing.T) {
+	s := testServer(t, Config{})
+	for _, path := range []string{"/metrics", "/statusz"} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// Generated-recipe jobs work end to end through the API.
+func TestGeneratedProgramJob(t *testing.T) {
+	s := testServer(t, Config{})
+	c := NewClient(s.Addr())
+	ctx := ctxT(t, 60*time.Second)
+
+	st, err := c.Submit(ctx, Spec{
+		Tenant: "gen", Gen: &GenSpec{Seed: 3}, Seed: 1, MaxExecutions: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", fin.State, fin.Error)
+	}
+	if fin.Result == nil || fin.Result.Executions == 0 {
+		t.Fatal("generated job explored nothing")
+	}
+}

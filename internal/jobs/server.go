@@ -1,0 +1,980 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cxlmc "repro"
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// Config configures a job server. The zero value of every field takes
+// the default documented on it.
+type Config struct {
+	// Addr is the listen address (":0" binds an ephemeral port).
+	Addr string
+	// Dir is the durable store directory (journal + per-job engine
+	// checkpoints). Required.
+	Dir string
+
+	// PoolWorkers is the number of jobs run concurrently; default 2.
+	PoolWorkers int
+	// QueueDepth bounds each tenant's queued (not running) jobs; a full
+	// queue answers 429 with Retry-After. Default 32.
+	QueueDepth int
+
+	// MaxRetries bounds retries of transiently-failed runs (chaos I/O,
+	// and degraded stops that made no progress); default 3. Degraded
+	// stops that DID advance the exploration are always resumed — they
+	// are the governor working as designed, not a failure.
+	MaxRetries int
+	// RetryBase/RetryCap shape the capped exponential backoff between
+	// retries; defaults 100ms and 5s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+
+	// CheckpointEvery / CheckpointInterval are each job's engine
+	// checkpoint cadence; defaults 64 executions and 2s.
+	CheckpointEvery    int
+	CheckpointInterval time.Duration
+	// ProgressEvery is each job's Progress snapshot cadence; default
+	// 250ms.
+	ProgressEvery time.Duration
+	// WedgeTimeout is each job's watchdog for callbacks that block
+	// outside the simulated API; default 30s.
+	WedgeTimeout time.Duration
+	// MaxJobTime caps every job's MaxTime deadline (and is the default
+	// for specs that set none); 0 = no cap.
+	MaxJobTime time.Duration
+	// DefaultMemBudget is the governor budget for specs that set none;
+	// 0 = unbounded.
+	DefaultMemBudget uint64
+	// JobWorkers is the engine worker count for specs that set none;
+	// default 1, so concurrent jobs share the host's cores instead of
+	// each grabbing GOMAXPROCS.
+	JobWorkers int
+
+	// Chaos, when non-nil, injects faults into the job store's journal
+	// I/O, the pool's scheduling, and each job run's checkpoint I/O —
+	// the server's own resilience paths under test.
+	Chaos *chaos.Injector
+	// Obs is the metrics registry; nil creates a private one (read it
+	// back with Registry).
+	Obs *obs.Registry
+	// EventTrace, when non-nil, receives job lifecycle events as JSON
+	// lines, alongside the exploration events of each run.
+	EventTrace io.Writer
+	// Logf, when non-nil, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.PoolWorkers <= 0 {
+		c.PoolWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 5 * time.Second
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 2 * time.Second
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 250 * time.Millisecond
+	}
+	if c.WedgeTimeout <= 0 {
+		c.WedgeTimeout = 30 * time.Second
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+}
+
+// metrics is the server's cxlmc_jobs_* instrument set.
+type metrics struct {
+	queued, running, done, failed, cancelled *obs.Counter
+	retried, resumed, rejected, degraded     *obs.Counter
+	journalRetries                           *obs.Counter
+	queueDepth, active                       *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		queued:         reg.Counter("cxlmc_jobs_queued", "jobs accepted into the queue (submissions, retries and recovered re-queues)"),
+		running:        reg.Counter("cxlmc_jobs_running", "job runs started on the pool"),
+		done:           reg.Counter("cxlmc_jobs_done", "jobs finished successfully"),
+		failed:         reg.Counter("cxlmc_jobs_failed", "jobs failed permanently"),
+		cancelled:      reg.Counter("cxlmc_jobs_cancelled", "jobs cancelled by a client"),
+		retried:        reg.Counter("cxlmc_jobs_retried", "job runs retried after a transient failure or degraded stop"),
+		resumed:        reg.Counter("cxlmc_jobs_resumed", "jobs adopted from the journal at startup (restart recovery)"),
+		rejected:       reg.Counter("cxlmc_jobs_rejected", "submissions rejected with 429 (queue full)"),
+		degraded:       reg.Counter("cxlmc_jobs_degraded", "job runs stopped degraded by the memory governor"),
+		journalRetries: reg.Counter("cxlmc_jobs_journal_retries", "journal writes retried after injected or transient I/O faults"),
+		queueDepth:     reg.Gauge("cxlmc_jobs_queue_depth", "jobs currently queued across all tenants"),
+		active:         reg.Gauge("cxlmc_jobs_active", "jobs currently running on the pool"),
+	}
+}
+
+// sseEvent is one fanned-out server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// job is the server's in-memory view of one submitted exploration.
+type job struct {
+	id     string
+	tenant string
+	spec   Spec
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	state     State
+	retries   int
+	strikes   int // degraded attempts without progress
+	errMsg    string
+	result    *cxlmc.Result
+	progress  *cxlmc.Progress
+	lastExecs int // executions at the previous degraded stop
+	cancelled bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	subs      []chan sseEvent
+}
+
+func (j *job) requestStop() {
+	j.stopOnce.Do(func() { close(j.stop) })
+}
+
+// rearm replaces a consumed stop channel before a retry re-queues the
+// job (a cancelled channel must not instantly stop the next run).
+func (j *job) rearm() {
+	j.mu.Lock()
+	j.stop = make(chan struct{})
+	j.stopOnce = sync.Once{}
+	j.mu.Unlock()
+}
+
+func (j *job) status(withSpec bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Tenant: j.tenant, State: j.state, Retries: j.retries,
+		Error: j.errMsg, Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if withSpec {
+		sp := j.spec
+		st.Spec = &sp
+	}
+	if j.progress != nil && !j.state.Terminal() {
+		p := *j.progress
+		st.Progress = &p
+	}
+	if j.result != nil {
+		st.Result = j.result
+	}
+	return st
+}
+
+// subscribe registers an SSE subscriber; the returned channel is closed
+// when the job reaches a terminal state.
+func (j *job) subscribe() chan sseEvent {
+	ch := make(chan sseEvent, 16)
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	if !terminal {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	if terminal {
+		close(ch)
+	}
+	return ch
+}
+
+// publish fans an event out to subscribers (dropping it for slow ones)
+// and closes the stream on terminal events. Callers must not hold j.mu.
+func (j *job) publish(ev sseEvent, terminal bool) {
+	j.mu.Lock()
+	subs := j.subs
+	if terminal {
+		j.subs = nil
+	}
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		if terminal {
+			close(ch)
+		}
+	}
+}
+
+// Server is a running job server. Start one with Start, stop it with
+// Drain (graceful) or Close (hard).
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	m      metrics
+	tracer *obs.Tracer
+	st     *store
+	q      *fairQueue
+	http   *obs.Server
+
+	jmu sync.Mutex // orders journal appends
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	nextID   int
+	draining bool
+
+	// crashed simulates kill -9 for tests: journaling and terminal
+	// bookkeeping stop dead, exactly as if the process vanished.
+	crashed atomic.Bool
+
+	wg  sync.WaitGroup
+	ema atomic.Int64 // EMA of job wall-clock (ns), for Retry-After
+}
+
+// Start opens (or recovers) the store in cfg.Dir, re-queues every
+// non-terminal job from the journal, and begins serving the REST API on
+// cfg.Addr.
+func Start(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    reg,
+		m:      newMetrics(reg),
+		q:      newFairQueue(cfg.QueueDepth),
+		jobs:   make(map[string]*job),
+		nextID: 1,
+	}
+	if cfg.EventTrace != nil {
+		s.tracer = obs.NewTracer(1, 1024, cfg.EventTrace)
+	}
+	st, recs, err := openStore(cfg.Dir, cfg.Chaos, func() {
+		s.m.journalRetries.Inc()
+		s.trace(obs.EvJobJournalRetry, "")
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.st = st
+	sortRecords(recs)
+	s.nextID = nextIDAfter(recs)
+	s.adopt(recs)
+
+	routes := []obs.Route{
+		{Pattern: "POST /jobs", Handler: http.HandlerFunc(s.handleSubmit)},
+		{Pattern: "GET /jobs", Handler: http.HandlerFunc(s.handleList)},
+		{Pattern: "GET /jobs/{id}", Handler: http.HandlerFunc(s.handleGet)},
+		{Pattern: "POST /jobs/{id}/cancel", Handler: http.HandlerFunc(s.handleCancel)},
+		{Pattern: "DELETE /jobs/{id}", Handler: http.HandlerFunc(s.handleCancel)},
+		{Pattern: "GET /jobs/{id}/events", Handler: http.HandlerFunc(s.handleEvents)},
+	}
+	srv, err := obs.NewServerRoutes(cfg.Addr, reg, s.statusz, routes...)
+	if err != nil {
+		st.close()
+		return nil, err
+	}
+	s.http = srv
+
+	for i := 0; i < cfg.PoolWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// adopt turns recovered journal records back into live jobs: terminal
+// jobs are kept for status queries; running/degraded jobs resume from
+// their checkpoint; queued jobs re-enter the queue. Nothing is lost and
+// nothing reruns from scratch unnecessarily.
+func (s *Server) adopt(recs []record) {
+	for _, rec := range recs {
+		j := &job{
+			id:        rec.ID,
+			tenant:    rec.Tenant,
+			spec:      *rec.Spec,
+			state:     rec.State,
+			retries:   rec.Retries,
+			errMsg:    rec.Error,
+			result:    rec.Result,
+			submitted: rec.Time,
+			stop:      make(chan struct{}),
+		}
+		if j.tenant == "" {
+			j.tenant = j.spec.Tenant
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if rec.State.Terminal() {
+			continue
+		}
+		// A job that was mid-run when the last process died resumes from
+		// its last checkpoint; one that was still queued starts fresh.
+		// Both re-enter the queue — the checkpoint file, not the journal
+		// state, decides how much work is left.
+		if rec.State == StateRunning || rec.State == StateDegraded {
+			s.m.resumed.Inc()
+			s.trace(obs.EvJobResume, j.id)
+		}
+		j.state = StateQueued
+		s.q.requeue(j)
+		s.m.queued.Inc()
+		s.m.queueDepth.Set(int64(s.q.len()))
+		s.logf("jobs: recovered %s (%s) as queued", j.id, j.tenant)
+	}
+}
+
+// Addr returns the bound "host:port".
+func (s *Server) Addr() string { return s.http.Addr() }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) trace(kind obs.EventKind, id string) {
+	if s.tracer != nil {
+		s.tracer.RecordS(-1, kind, 0, id)
+	}
+}
+
+// journal appends one record unless the server has (test-)crashed.
+// Append failures after retries are logged and tolerated: in-memory
+// state stays authoritative for this process, and the next transition's
+// append re-asserts the job's state.
+func (s *Server) journal(rec record) {
+	if s.crashed.Load() {
+		return
+	}
+	s.jmu.Lock()
+	err := s.st.append(rec)
+	s.jmu.Unlock()
+	if err != nil {
+		s.logf("jobs: journal append for %s: %v", rec.ID, err)
+	}
+}
+
+// statusz is the /statusz payload: queue and pool occupancy plus a
+// per-state job census.
+func (s *Server) statusz() any {
+	s.mu.Lock()
+	states := make(map[State]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		states[j.state]++
+		j.mu.Unlock()
+	}
+	draining := s.draining
+	total := len(s.jobs)
+	s.mu.Unlock()
+	return map[string]any{
+		"jobs":     total,
+		"states":   states,
+		"queue":    s.q.depths(),
+		"active":   s.m.active.Value(),
+		"draining": draining,
+	}
+}
+
+// retryAfterSeconds estimates how long a 429'd client should wait: the
+// queue's drain time at the observed mean job duration, clamped to
+// [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	mean := time.Duration(s.ema.Load())
+	if mean <= 0 {
+		mean = time.Second
+	}
+	est := time.Duration(s.q.len()/s.cfg.PoolWorkers+1) * mean
+	secs := int(est / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) noteDuration(d time.Duration) {
+	old := s.ema.Load()
+	if old == 0 {
+		s.ema.Store(int64(d))
+		return
+	}
+	s.ema.Store(old + (int64(d)-old)/4)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit is POST /jobs: decode and validate the spec (strictly —
+// unknown fields are a 400, which is what keeps the whitelist a
+// whitelist), admit it under the tenant's queue bound, journal it, and
+// answer 202 with the job id.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	id := fmt.Sprintf("j-%06d", s.nextID)
+	s.nextID++
+	j := &job{
+		id: id, tenant: spec.Tenant, spec: spec,
+		state: StateQueued, submitted: time.Now().UTC(),
+		stop: make(chan struct{}),
+	}
+	if !s.q.push(j) {
+		s.nextID-- // id never escaped; reuse it
+		s.mu.Unlock()
+		s.m.rejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "queue full for tenant %q (depth %d)", spec.Tenant, s.cfg.QueueDepth)
+		return
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	s.journal(record{ID: id, Tenant: j.tenant, State: StateQueued, Spec: &spec, Time: j.submitted})
+	s.m.queued.Inc()
+	s.m.queueDepth.Set(int64(s.q.len()))
+	s.trace(obs.EvJobSubmit, id)
+	s.logf("jobs: %s submitted by %s (%s)", id, j.tenant, specName(&spec))
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func specName(sp *Spec) string {
+	if sp.Gen != nil {
+		return fmt.Sprintf("gen seed %d", sp.Gen.Seed)
+	}
+	return sp.Bench
+}
+
+// handleList is GET /jobs[?tenant=]: all jobs in submit order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenant != "" && j.tenant != tenant {
+			continue
+		}
+		out = append(out, j.status(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j
+}
+
+// handleGet is GET /jobs/{id}: full status including the spec, the
+// latest progress snapshot, and the result once terminal.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+// handleCancel is POST /jobs/{id}/cancel (or DELETE /jobs/{id}): a
+// queued job is cancelled on the spot; a running one is stopped at its
+// next execution boundary and journaled cancelled by the pool worker.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		st := j.state
+		j.mu.Unlock()
+		httpError(w, http.StatusConflict, "job %s is already %s", j.id, st)
+		return
+	case j.state == StateQueued:
+		j.cancelled = true
+		j.mu.Unlock()
+		if s.q.remove(j) {
+			s.finishJob(j, StateCancelled, nil, "cancelled while queued")
+			s.m.queueDepth.Set(int64(s.q.len()))
+		}
+		// If remove lost the race with a pool worker the job is now
+		// running; the cancelled flag plus requestStop below still end it.
+	default:
+		j.cancelled = true
+		j.mu.Unlock()
+	}
+	j.requestStop()
+	writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleEvents is GET /jobs/{id}/events: a server-sent-event stream of
+// state transitions and progress snapshots, ending with the terminal
+// event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEv := func(ev sseEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+		fl.Flush()
+	}
+	// Lead with the current status so a late subscriber is never blind,
+	// then follow the live feed.
+	st := j.status(false)
+	data, _ := json.Marshal(st)
+	writeEv(sseEvent{name: "status", data: data})
+	if st.State.Terminal() {
+		return
+	}
+	ch := j.subscribe()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeEv(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// publishState journals a transition's SSE event to subscribers.
+func (s *Server) publishState(j *job) {
+	st := j.status(false)
+	data, _ := json.Marshal(st)
+	j.publish(sseEvent{name: "status", data: data}, st.State.Terminal())
+}
+
+func (s *Server) publishProgress(j *job, p cxlmc.Progress) {
+	data, _ := json.Marshal(p)
+	j.publish(sseEvent{name: "progress", data: data}, false)
+}
+
+// worker is one pool worker: claim, run, classify, repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.q.pop()
+		if j == nil {
+			return
+		}
+		s.m.queueDepth.Set(int64(s.q.len()))
+		s.runJob(j)
+	}
+}
+
+// finishJob moves a job to a terminal state: journal first, then drop
+// the now-useless checkpoint, then count and publish. The ordering means
+// a crash can only ever leave extra work (a re-run from a complete
+// checkpoint, which returns the identical result), never a lost job.
+func (s *Server) finishJob(j *job, state State, res *cxlmc.Result, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now().UTC()
+	retries := j.retries
+	j.mu.Unlock()
+
+	if s.crashed.Load() {
+		return
+	}
+	s.journal(record{ID: j.id, Tenant: j.tenant, State: state, Retries: retries, Error: errMsg, Result: res, Time: j.finished})
+	s.st.removeCheckpoint(j.id)
+	switch state {
+	case StateDone:
+		s.m.done.Inc()
+		s.trace(obs.EvJobDone, j.id)
+	case StateFailed:
+		s.m.failed.Inc()
+		s.trace(obs.EvJobFail, j.id)
+	case StateCancelled:
+		s.m.cancelled.Inc()
+		s.trace(obs.EvJobCancel, j.id)
+	}
+	s.logf("jobs: %s %s%s", j.id, state, errSuffix(errMsg))
+	s.publishState(j)
+}
+
+func errSuffix(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
+}
+
+// retryJob re-queues a job after a transient failure or a degraded stop.
+// attempt drives the capped exponential backoff: escalating failures
+// pass their retry count, while a degraded stop that advanced the
+// exploration passes 0 — the governor pausing a healthy job should cost
+// one base interval, not a growing penalty.
+func (s *Server) retryJob(j *job, state State, why string, attempt int) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = why
+	retries := j.retries
+	j.mu.Unlock()
+	if s.crashed.Load() {
+		return
+	}
+	s.journal(record{ID: j.id, Tenant: j.tenant, State: state, Retries: retries, Error: why, Time: time.Now().UTC()})
+	s.m.retried.Inc()
+	s.trace(obs.EvJobRetry, j.id)
+	s.publishState(j)
+
+	backoff := s.cfg.RetryBase << uint(min(attempt, 10))
+	if backoff > s.cfg.RetryCap {
+		backoff = s.cfg.RetryCap
+	}
+	s.logf("jobs: %s %s (%s); retrying in %v", j.id, state, why, backoff)
+	j.rearm()
+	time.AfterFunc(backoff, func() {
+		if s.crashed.Load() {
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			// The drain path already journaled the queue; leave the job
+			// queued for the next process.
+			s.setQueuedForRestart(j)
+			return
+		}
+		j.mu.Lock()
+		j.state = StateQueued
+		j.mu.Unlock()
+		s.journal(record{ID: j.id, Tenant: j.tenant, State: StateQueued, Retries: retries, Time: time.Now().UTC()})
+		s.q.requeue(j)
+		s.m.queued.Inc()
+		s.m.queueDepth.Set(int64(s.q.len()))
+		s.publishState(j)
+	})
+}
+
+// setQueuedForRestart journals a job back to queued without re-queueing
+// it in this process — the drain path, where the queue itself is closed.
+func (s *Server) setQueuedForRestart(j *job) {
+	j.mu.Lock()
+	j.state = StateQueued
+	retries := j.retries
+	j.mu.Unlock()
+	s.journal(record{ID: j.id, Tenant: j.tenant, State: StateQueued, Retries: retries, Time: time.Now().UTC()})
+}
+
+// runJob runs one claimed job to its next lifecycle edge.
+func (s *Server) runJob(j *job) {
+	// Chaos in the pool: a seeded stall before the claim turns into work,
+	// shaking out ordering assumptions between claim, cancel and drain.
+	s.cfg.Chaos.Stall()
+
+	j.mu.Lock()
+	if j.cancelled {
+		j.mu.Unlock()
+		s.finishJob(j, StateCancelled, nil, "cancelled while queued")
+		return
+	}
+	j.state = StateRunning
+	if j.started.IsZero() {
+		j.started = time.Now().UTC()
+	}
+	retries := j.retries
+	j.mu.Unlock()
+
+	s.journal(record{ID: j.id, Tenant: j.tenant, State: StateRunning, Retries: retries, Time: time.Now().UTC()})
+	s.m.running.Inc()
+	s.m.active.Add(1)
+	defer s.m.active.Add(-1)
+	s.trace(obs.EvJobStart, j.id)
+	s.publishState(j)
+
+	program, ok := j.spec.program()
+	if !ok {
+		s.finishJob(j, StateFailed, nil, fmt.Sprintf("unknown benchmark %q", j.spec.Bench))
+		return
+	}
+	cfg := j.spec.checkConfig(s.baseConfig())
+	cfg.CheckpointPath = s.st.checkpointPath(j.id)
+	cfg.Stop = j.stop
+	cfg.OnProgress = func(p cxlmc.Progress) {
+		j.mu.Lock()
+		pp := p
+		j.progress = &pp
+		j.mu.Unlock()
+		s.publishProgress(j, p)
+	}
+	if cfg.RaceDetect == cxlmc.SwitchOn {
+		// Mirror the CLI: the vet pre-pass arms the crash-exposure check,
+		// and runs identically on every retry so the config digest is
+		// stable across resumes.
+		if rep, err := cxlmc.Vet(cfg, program); err == nil {
+			cfg.UnflushedLines = rep.FlaggedLines()
+		}
+	}
+
+	start := time.Now()
+	res, err := cxlmc.Run(cfg, program)
+	s.noteDuration(time.Since(start))
+	s.classify(j, res, err)
+}
+
+// baseConfig is the server-owned part of every job's engine config.
+func (s *Server) baseConfig() cxlmc.Config {
+	return cxlmc.Config{
+		Workers:            s.cfg.JobWorkers,
+		MaxTime:            s.cfg.MaxJobTime,
+		MemBudgetBytes:     s.cfg.DefaultMemBudget,
+		WedgeTimeout:       s.cfg.WedgeTimeout,
+		CheckpointEvery:    s.cfg.CheckpointEvery,
+		CheckpointInterval: s.cfg.CheckpointInterval,
+		ProgressEvery:      s.cfg.ProgressEvery,
+		Obs:                s.reg,
+		Chaos:              s.cfg.Chaos,
+	}
+}
+
+// classify turns one run's outcome into the job's next state:
+//
+//   - engine error: transient (injected I/O and friends) retries with
+//     backoff up to MaxRetries, permanent (bad program, identity
+//     mismatch) fails;
+//   - interrupted: a client cancel ends the job; a server drain leaves
+//     it journaled for the next process;
+//   - degraded stop: the governor's budget hit — resume from the
+//     checkpoint as long as the run is advancing, strike out after
+//     MaxRetries attempts with no progress;
+//   - otherwise: done, with the full Result (bugs and repro tokens).
+func (s *Server) classify(j *job, res *cxlmc.Result, err error) {
+	if err != nil {
+		if chaos.IsTransient(err) {
+			j.mu.Lock()
+			j.retries++
+			attempt := j.retries
+			j.mu.Unlock()
+			if attempt > s.cfg.MaxRetries {
+				s.finishJob(j, StateFailed, nil, fmt.Sprintf("transient failures exhausted %d retries: %v", s.cfg.MaxRetries, err))
+				return
+			}
+			s.retryJob(j, StateQueued, fmt.Sprintf("transient: %v", err), attempt)
+			return
+		}
+		s.finishJob(j, StateFailed, nil, err.Error())
+		return
+	}
+
+	j.mu.Lock()
+	cancelled := j.cancelled
+	j.mu.Unlock()
+
+	switch {
+	case res.Interrupted && cancelled:
+		s.finishJob(j, StateCancelled, res, "cancelled")
+	case res.Interrupted:
+		// Drain: the engine already checkpointed; hand the job to the
+		// next process.
+		s.setQueuedForRestart(j)
+	case res.Degraded && !res.Complete:
+		s.m.degraded.Inc()
+		j.mu.Lock()
+		progressed := res.Executions > j.lastExecs
+		j.lastExecs = res.Executions
+		if progressed {
+			j.strikes = 0
+		} else {
+			j.strikes++
+		}
+		strikes := j.strikes
+		j.retries++
+		j.mu.Unlock()
+		if strikes > s.cfg.MaxRetries {
+			s.finishJob(j, StateFailed, res, fmt.Sprintf("degraded with no progress after %d attempts (budget too small at %d executions)", strikes, res.Executions))
+			return
+		}
+		// A progressing degraded job resumes at the base interval no
+		// matter how many times it has been paused (strikes == 0 then);
+		// only consecutive no-progress attempts escalate.
+		s.retryJob(j, StateDegraded, fmt.Sprintf("governor stopped the run at %d executions to hold its budget", res.Executions), strikes)
+	default:
+		s.finishJob(j, StateDone, res, "")
+	}
+}
+
+// Drain stops the server gracefully: submissions are refused, the queue
+// closes (queued jobs stay journaled as queued), every running job is
+// stopped at its next execution boundary — the engine writes its final
+// checkpoint — and journaled back to queued, the pool exits, and the
+// HTTP server drains in-flight requests. A restarted server picks all of
+// it up. Returns nil when everything drained before ctx expired.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	running := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning || j.state == StateDegraded {
+			running = append(running, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	s.logf("jobs: draining (%d running, %d queued)", len(running), s.q.len())
+	s.q.close()
+	for _, j := range running {
+		j.requestStop()
+	}
+
+	poolDone := make(chan struct{})
+	go func() { s.wg.Wait(); close(poolDone) }()
+	var drainErr error
+	select {
+	case <-poolDone:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+
+	// Running jobs were journaled back to queued by their pool workers
+	// (classify's drain arm). Jobs the pool never reached are already
+	// journaled queued from submit time, so "persist the queue" is
+	// complete either way.
+	if err := s.http.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if s.tracer != nil {
+		s.tracer.Flush()
+	}
+	s.jmu.Lock()
+	s.st.close()
+	s.jmu.Unlock()
+	return drainErr
+}
+
+// Close stops the server hard: listeners drop, pool workers are told to
+// stop, nothing further is journaled beyond what already was. Prefer
+// Drain.
+func (s *Server) Close() error {
+	s.q.close()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.requestStop()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	err := s.http.Close()
+	s.jmu.Lock()
+	s.st.close()
+	s.jmu.Unlock()
+	return err
+}
+
+// crash simulates kill -9 for restart-parity tests: journaling stops
+// dead first (no terminal records escape), then everything running is
+// abandoned. The engines' periodic checkpoints on disk are exactly what
+// a real SIGKILL leaves behind.
+func (s *Server) crash() {
+	s.crashed.Store(true)
+	s.q.close()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.requestStop()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.http.Close()
+	s.jmu.Lock()
+	s.st.close()
+	s.jmu.Unlock()
+}

@@ -1,0 +1,265 @@
+// Package jobs implements "checking as a service": a long-lived,
+// multi-tenant job server that accepts exploration jobs over a REST API
+// layered onto internal/obs's status server, queues them with per-tenant
+// fairness and bounded depth, and runs them concurrently on a shared
+// worker pool where every job gets its own governor budget, wedge
+// watchdog and MaxTime deadline.
+//
+// Robustness is the design center. Every job's state machine
+// (queued → running → degraded/done/failed/cancelled) is journaled to a
+// durable store — an append-only JSONL journal plus one engine
+// checkpoint file per job, reusing the checker's existing checkpoint
+// format — so a kill -9 of the server followed by a restart resumes
+// running jobs from their last checkpoint and re-queues queued ones with
+// no loss and no duplicate results. A per-job retry policy with capped
+// exponential backoff distinguishes transient failures (chaos-injected
+// I/O, a governor degraded-stop that is still making progress) from
+// permanent ones (a bad recipe, a checkpoint identity mismatch), and
+// SIGTERM drains: stop accepting, checkpoint every running job, persist
+// the queue, exit clean.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	cxlmc "repro"
+	"repro/internal/harness"
+	"repro/internal/recipe"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("500ms", "2m") and unmarshals from either that form or a plain
+// number of nanoseconds, so curl-written job specs stay writable by
+// hand.
+type Duration time.Duration
+
+// MarshalJSON encodes the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "2s"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		dd, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("jobs: bad duration %q: %w", s, err)
+		}
+		*d = Duration(dd)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("jobs: bad duration %s: want a string like \"2s\" or nanoseconds", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// GenSpec names a harness-generated random program instead of a RECIPE
+// benchmark: the seed pins the program exactly (the generator is
+// deterministic), and the bounds shape it. Zero bounds take the
+// generator's defaults.
+type GenSpec struct {
+	Seed              int64 `json:"seed"`
+	Machines          int   `json:"machines,omitempty"`
+	ThreadsPerMachine int   `json:"threads_per_machine,omitempty"`
+	OpsPerThread      int   `json:"ops_per_thread,omitempty"`
+	Cells             int   `json:"cells,omitempty"`
+	Flushes           int   `json:"flushes,omitempty"`
+}
+
+// Spec is an exploration job as a client submits it: a program — a named
+// RECIPE/CXL-SHM benchmark with its workload shape, or a generated
+// recipe — plus the whitelisted subset of the checker's Config a tenant
+// may set. Everything else (checkpoint paths and cadence, stop wiring,
+// observability, chaos) belongs to the server, so a spec can neither
+// touch the host filesystem nor break another tenant's job.
+type Spec struct {
+	// Tenant is the fairness and quota key; empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	// Bench names a RECIPE benchmark (CCEH, FAST_FAIR, P-ART, P-BwTree,
+	// P-CLHT, P-MassTree) or a CXL-SHM case (kv, test_stress). Exactly
+	// one of Bench and Gen must be set.
+	Bench string `json:"bench,omitempty"`
+	// Keys, InsertWorkers and Stride shape the RECIPE workload; Bugs is
+	// the seeded-bug bitmask (0 = all fixed).
+	Keys          int    `json:"keys,omitempty"`
+	InsertWorkers int    `json:"insert_workers,omitempty"`
+	Stride        int    `json:"stride,omitempty"`
+	Bugs          uint32 `json:"bugs,omitempty"`
+	// Gen selects a harness-generated program instead of Bench.
+	Gen *GenSpec `json:"gen,omitempty"`
+
+	// Whitelisted exploration knobs, mirroring the checker Config fields
+	// of the same names.
+	Seed             int64        `json:"seed,omitempty"`
+	GPF              bool         `json:"gpf,omitempty"`
+	Poison           bool         `json:"poison,omitempty"`
+	Workers          int          `json:"workers,omitempty"`
+	MaxExecutions    int          `json:"max_executions,omitempty"`
+	MaxTime          Duration     `json:"max_time,omitempty"`
+	MemBudgetBytes   uint64       `json:"mem_budget_bytes,omitempty"`
+	GovernorEvery    int          `json:"governor_every,omitempty"`
+	MaxEventsPerExec int          `json:"max_events_per_exec,omitempty"`
+	ContinueAfterBug bool         `json:"continue,omitempty"`
+	Reduction        cxlmc.Switch `json:"reduction,omitempty"`
+	PrefixFork       cxlmc.Switch `json:"prefix_fork,omitempty"`
+	RaceDetect       cxlmc.Switch `json:"race_detect,omitempty"`
+}
+
+// maxWorkersPerJob caps one job's exploration workers so a single
+// tenant cannot monopolize the host's cores.
+const maxWorkersPerJob = 16
+
+// validTenant keeps tenant names path- and log-safe.
+func validTenant(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for _, r := range t {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// normalize validates the spec and fills its defaults. It is called at
+// submit time so a bad spec is a 400, never a queued job that fails
+// later.
+func (sp *Spec) normalize() error {
+	if sp.Tenant == "" {
+		sp.Tenant = "default"
+	}
+	if !validTenant(sp.Tenant) {
+		return fmt.Errorf("jobs: bad tenant %q: want 1-64 characters of [a-zA-Z0-9._-]", sp.Tenant)
+	}
+	if (sp.Bench == "") == (sp.Gen == nil) {
+		return fmt.Errorf("jobs: a spec names exactly one program: set bench or gen")
+	}
+	if sp.Bench != "" {
+		if _, ok := sp.program(); !ok {
+			return fmt.Errorf("jobs: unknown benchmark %q", sp.Bench)
+		}
+	}
+	if sp.Keys < 0 || sp.InsertWorkers < 0 || sp.Stride < 0 ||
+		sp.Workers < 0 || sp.MaxExecutions < 0 || sp.MaxTime < 0 ||
+		sp.GovernorEvery < 0 || sp.MaxEventsPerExec < 0 {
+		return fmt.Errorf("jobs: negative spec field")
+	}
+	if sp.Workers > maxWorkersPerJob {
+		sp.Workers = maxWorkersPerJob
+	}
+	return nil
+}
+
+// program resolves the spec to the checker's program constructor.
+func (sp *Spec) program() (func(*cxlmc.Program), bool) {
+	if sp.Gen != nil {
+		gc := harness.GenConfig{
+			MaxMachines:          sp.Gen.Machines,
+			MaxThreadsPerMachine: sp.Gen.ThreadsPerMachine,
+			MaxOpsPerThread:      sp.Gen.OpsPerThread,
+			MaxCells:             sp.Gen.Cells,
+			FlushBudget:          sp.Gen.Flushes,
+		}
+		return harness.Generate(sp.Gen.Seed, gc), true
+	}
+	return harness.ProgramByName(sp.Bench, recipe.Config{
+		Keys:    sp.Keys,
+		Workers: sp.InsertWorkers,
+		Stride:  sp.Stride,
+		Bugs:    recipe.Bug(sp.Bugs),
+	})
+}
+
+// checkConfig merges the whitelisted spec knobs onto the server's base
+// configuration for one run of the job. The server fills in durable
+// state (checkpoint path and cadence), stop wiring and observability
+// afterwards.
+func (sp *Spec) checkConfig(base cxlmc.Config) cxlmc.Config {
+	cfg := base
+	cfg.Seed = sp.Seed
+	cfg.GPF = sp.GPF
+	cfg.Poison = sp.Poison
+	if sp.Workers > 0 {
+		// The server's base pins each job to a modest worker count so
+		// concurrent jobs share the host; a spec may widen one job up to
+		// the per-job cap.
+		cfg.Workers = sp.Workers
+	}
+	cfg.MaxExecutions = sp.MaxExecutions
+	cfg.ContinueAfterBug = sp.ContinueAfterBug
+	cfg.Reduction = sp.Reduction
+	cfg.PrefixFork = sp.PrefixFork
+	cfg.RaceDetect = sp.RaceDetect
+	if sp.MaxTime > 0 && (base.MaxTime == 0 || time.Duration(sp.MaxTime) < base.MaxTime) {
+		cfg.MaxTime = time.Duration(sp.MaxTime)
+	}
+	if sp.MemBudgetBytes > 0 {
+		cfg.MemBudgetBytes = sp.MemBudgetBytes
+	}
+	if sp.GovernorEvery > 0 {
+		cfg.GovernorEvery = sp.GovernorEvery
+	}
+	if sp.MaxEventsPerExec > 0 {
+		cfg.MaxEventsPerExec = sp.MaxEventsPerExec
+	}
+	return cfg
+}
+
+// State is one job's position in the lifecycle state machine.
+type State string
+
+// Job states. Degraded is the transient "the governor stopped this run
+// to stay inside its budget; it will be resumed" state; done, failed
+// and cancelled are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDegraded  State = "degraded"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state ends the job's lifecycle.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// valid reports whether s is one of the defined states (used when
+// decoding journal records).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDegraded, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Status is one job as the API reports it: identity, lifecycle position,
+// the latest Progress snapshot while running, and the final Result —
+// bugs with repro tokens included — once terminal.
+type Status struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant"`
+	State   State  `json:"state"`
+	Retries int    `json:"retries,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+
+	Spec     *Spec           `json:"spec,omitempty"`
+	Progress *cxlmc.Progress `json:"progress,omitempty"`
+	Result   *cxlmc.Result   `json:"result,omitempty"`
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -296,5 +297,78 @@ func TestServerEndpoints(t *testing.T) {
 func TestServerBadAddrFailsFast(t *testing.T) {
 	if _, err := NewServer("256.256.256.256:99999", nil, nil); err == nil {
 		t.Fatal("bad address must fail at construction")
+	}
+}
+
+// TestServerShutdownDrains proves the graceful-drain contract: a scrape
+// that is already in flight when Shutdown is called completes with its
+// full body and a 200, while connections arriving after the drain began
+// are refused.
+func TestServerShutdownDrains(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cxlmc_executions_total", "execs").Add(7)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := NewServer("127.0.0.1:0", reg, func() any {
+		close(entered)
+		<-release // hold the request in flight while Shutdown runs
+		return map[string]int{"executions": 7}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body   string
+		status int
+		err    error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/statusz")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		got <- scrape{body: sb.String(), status: resp.StatusCode}
+	}()
+
+	<-entered // the scrape is now inside the handler
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(context.Background()) }()
+
+	// The listener must already refuse new connections while the
+	// in-flight request keeps the drain open.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("new connections still accepted during drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(release)
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape failed during drain: %v", s.err)
+	}
+	if s.status != http.StatusOK || !strings.Contains(s.body, `"executions": 7`) {
+		t.Fatalf("in-flight scrape truncated: status=%d body=%q", s.status, s.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
 	}
 }

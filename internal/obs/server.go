@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -13,10 +14,19 @@ import (
 // Prometheus text format, /statusz as JSON (the engine's Progress
 // snapshot), and the standard /debug/pprof endpoints. It binds at
 // construction (so a bad address fails the run up front, not mid-flight)
-// and serves until Close.
+// and serves until Close or Shutdown.
 type Server struct {
 	ln   net.Listener
 	http *http.Server
+}
+
+// Route is one extra (pattern, handler) pair mounted on the status
+// server's mux by NewServerRoutes. Patterns use net/http.ServeMux
+// syntax, including method prefixes and wildcards ("POST /jobs",
+// "GET /jobs/{id}").
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // NewServer starts a status server on addr. reg may be nil (/metrics
@@ -24,6 +34,14 @@ type Server struct {
 // returned server is already listening; Addr reports the bound address,
 // which is useful with a ":0" addr.
 func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
+	return NewServerRoutes(addr, reg, status)
+}
+
+// NewServerRoutes is NewServer with extra application routes mounted on
+// the same mux — the job server layers its REST API onto the status
+// server this way, so one listener serves /metrics, /statusz, pprof and
+// the application endpoints together.
+func NewServerRoutes(addr string, reg *Registry, status func() any, routes ...Route) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -51,6 +69,9 @@ func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -75,7 +96,20 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Safe on a nil receiver.
+// Shutdown drains the server gracefully: the listener stops accepting
+// new connections immediately, in-flight requests (a /metrics scrape, a
+// long SSE stream) run to completion, and Shutdown returns when they
+// have — or when ctx expires, at which point remaining connections are
+// closed hard and ctx.Err is returned. Safe on a nil receiver.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
+}
+
+// Close stops the server immediately, dropping in-flight requests. Safe
+// on a nil receiver.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil

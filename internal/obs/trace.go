@@ -42,6 +42,18 @@ const (
 	// the cxlvet static pre-pass.
 	EvDataRace
 	EvVetFinding
+	// Job-server events: the lifecycle of one submitted exploration job
+	// (submit, start on a pool worker, terminal states, a retry after a
+	// transient failure or degraded stop, and a restart-recovery
+	// adoption), plus journal appends that survived only after retries.
+	EvJobSubmit
+	EvJobStart
+	EvJobDone
+	EvJobFail
+	EvJobCancel
+	EvJobRetry
+	EvJobResume
+	EvJobJournalRetry
 	numEventKinds
 )
 
@@ -91,6 +103,22 @@ func (k EventKind) String() string {
 		return "data-race"
 	case EvVetFinding:
 		return "vet-finding"
+	case EvJobSubmit:
+		return "job-submit"
+	case EvJobStart:
+		return "job-start"
+	case EvJobDone:
+		return "job-done"
+	case EvJobFail:
+		return "job-fail"
+	case EvJobCancel:
+		return "job-cancel"
+	case EvJobRetry:
+		return "job-retry"
+	case EvJobResume:
+		return "job-resume"
+	case EvJobJournalRetry:
+		return "job-journal-retry"
 	}
 	return "unknown"
 }

@@ -11,8 +11,10 @@
 # rows parsed from `go test -bench` output, plus a final PeakRSS row
 # with the bench process's peak resident set (VmHWM), a MetricsSnapshot
 # row holding the observability registry's final counter values from a
-# real CLI run, and a DistributedSmoke row from a coordinator + two
-# workers exploring CCEH over HTTP; the raw output is kept next to it
+# real CLI run, a DistributedSmoke row from a coordinator + two
+# workers exploring CCEH over HTTP, and a JobServerSmoke row timing the
+# same CCEH run submitted through the job server's REST API against the
+# direct engine; the raw output is kept next to it
 # as BENCH_<date>.txt. The PeakRSS row survives a failed or degraded
 # bench run — only the live rows need a working build.
 set -eu
@@ -142,6 +144,48 @@ if [ "$status" -eq 0 ]; then
     else
         kill "$cpid" 2>/dev/null || true
         echo "warning: coordinator never reported its address; DistributedSmoke row skipped" >&2
+    fi
+
+    # Checking-as-a-service overhead: the Table 5 CCEH run submitted
+    # through the job server's REST API (submit -wait) next to the same
+    # run straight through the engine. The delta is the cost of the
+    # journal, checkpoint plumbing and HTTP polling.
+    jdir="$(mktemp -d "${TMPDIR:-/tmp}/cxlmc-jobs.XXXXXX")"
+    jerr="$(mktemp "${TMPDIR:-/tmp}/cxlmc-jerr.XXXXXX")"
+    jout="$(mktemp "${TMPDIR:-/tmp}/cxlmc-jout.XXXXXX")"
+    trap 'rm -rf "$bin" "$cli" "$snap" "$dout" "$derr" "$jdir" "$jerr" "$jout"' EXIT
+    now_ms() { date +%s%3N; }
+    t0="$(now_ms)"
+    "$cli" -bench CCEH -bugs 0x1 -continue > /dev/null || true
+    direct_ms=$(( $(now_ms) - t0 ))
+    "$cli" -jobserver 127.0.0.1:0 -jobs-dir "$jdir" 2> "$jerr" &
+    jpid=$!
+    jaddr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        jaddr="$(sed -n 's/^cxlmc: job server on \([^ ]*\).*/\1/p' "$jerr")"
+        [ -n "$jaddr" ] && break
+        kill -0 "$jpid" 2>/dev/null || break
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    if [ -n "$jaddr" ]; then
+        t0="$(now_ms)"
+        "$cli" submit -addr "$jaddr" -bench CCEH -bugs 0x1 -continue -race-detect on \
+            -wait -poll 50ms > "$jout" || true
+        api_ms=$(( $(now_ms) - t0 ))
+        job_execs="$(sed -n 's/.*"Executions": \([0-9]*\),.*/\1/p' "$jout" | head -1)"
+        kill -TERM "$jpid" 2>/dev/null || true
+        wait "$jpid" 2>/dev/null || true
+        if [ -n "$job_execs" ]; then
+            printf ',\n  {"benchmark":"JobServerSmoke","metrics":{"executions":%s,"api_ms":%s,"direct_ms":%s}}' \
+                "$job_execs" "$api_ms" "$direct_ms" >> "$json"
+        else
+            echo "warning: job server smoke produced no parseable result; row skipped" >&2
+        fi
+    else
+        kill "$jpid" 2>/dev/null || true
+        echo "warning: job server never reported its address; JobServerSmoke row skipped" >&2
     fi
 fi
 printf '\n]\n' >> "$json"
