@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -86,6 +87,8 @@ func runJobVerb(verb string, args []string) int {
 		bugsFlag   = fs.String("bugs", "0", "seeded-bug bitmask")
 		genSeed    = fs.Int64("gen-seed", 0, "submit a harness-generated program with this seed (with -gen)")
 		gen        = fs.Bool("gen", false, "submit a harness-generated program instead of -bench")
+		source     = fs.String("source", "", "submit this Go source file (gofront/cxl API) as the job's program instead of -bench")
+		entry      = fs.String("entry", "", "entry function in the -source file (default Program)")
 		seed       = fs.Int64("seed", 0, "schedule seed")
 		gpf        = fs.Bool("gpf", false, "assume global persistent flush always succeeds")
 		poison     = fs.Bool("poison", false, "enable CXL memory poisoning")
@@ -169,6 +172,17 @@ func runJobVerb(verb string, args []string) int {
 		if *gen {
 			spec.Bench = ""
 			spec.Gen = &jobs.GenSpec{Seed: *genSeed}
+		}
+		if *source != "" {
+			src, err := os.ReadFile(*source)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cxlmc: -source: %v\n", err)
+				return 2
+			}
+			spec.Bench = ""
+			spec.Source = string(src)
+			spec.SourceName = filepath.Base(*source)
+			spec.Entry = *entry
 		}
 		st, err := client.Submit(ctx, spec)
 		if err != nil {

@@ -15,7 +15,8 @@
 //	      [-metrics-addr host:port] [-progress d] [-event-log file]
 //	      [-metrics-snapshot file]
 //	      [-serve addr | -join addr] [-lease-ttl d] [-continue] [-worker-name s]
-//	cxlmc -vet -bench NAME
+//	cxlmc -check file.go [-entry Program] [exploration flags]
+//	cxlmc -vet -bench NAME | -vet -check file.go
 //	cxlmc -stress N [-seed 0] [-chaos]
 //	cxlmc -jobserver addr -jobs-dir dir [-job-workers 2] [-queue-depth 32]
 //	cxlmc submit -addr host:port -bench NAME [flags] [-wait]
@@ -26,6 +27,19 @@
 // P-BwTree, P-CLHT, P-MassTree), a CXL-SHM case (kv, test_stress), or
 // vet-demo (a purpose-built static-analysis example).
 // -bugs is a bitmask enabling that benchmark's seeded bugs (0 = fixed).
+//
+// -check points the checker at a real Go source file instead of a named
+// benchmark: the file is written against the public gofront/cxl API
+// (import "cxl" or "repro/gofront/cxl"), type-checked against the
+// supported subset, and interpreted so every load, store, flush, fence,
+// atomic and lock becomes a checker event — reduction, prefix-fork,
+// race detection, repro tokens and -replay all work unchanged. -entry
+// names the entry function (signature func(*cxl.Region); default
+// Program). Parse errors, type errors and unsupported constructs are
+// reported as file:line diagnostics with exit code 2, never a panic.
+// The workload-shape flags (-keys, -insert-workers, -stride, -bugs)
+// describe the built-in benchmarks and are ignored with -check: a
+// source program's workload is whatever its entry function builds.
 //
 // -workers sets the number of parallel exploration workers (0 =
 // GOMAXPROCS); the explored execution set and the distinct bugs found
@@ -132,6 +146,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/cxlshm"
 	"repro/internal/dist"
+	"repro/internal/gofront"
 	"repro/internal/harness"
 	"repro/internal/recipe"
 )
@@ -159,6 +174,8 @@ func dispatch() int {
 func run() int {
 	var (
 		bench      = flag.String("bench", "", "benchmark name (CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT, P-MassTree, kv, test_stress)")
+		checkFile  = flag.String("check", "", "check a Go source file written against the gofront/cxl API instead of a named benchmark")
+		entryName  = flag.String("entry", "", "entry function in the -check file, signature func(*cxl.Region) (default Program)")
 		keys       = flag.Int("keys", 10, "total keys inserted")
 		insWorkers = flag.Int("insert-workers", 1, "insert workers per machine (simulated workload shape)")
 		stride     = flag.Int("stride", 1, "key stride")
@@ -222,12 +239,20 @@ func run() int {
 			*stress, *seed, *seed+int64(*stress)-1)
 		return 0
 	}
-	if *bench == "" && *jobServer == "" {
-		fmt.Fprintln(os.Stderr, "cxlmc: -bench is required (try -list)")
+	if *bench == "" && *checkFile == "" && *jobServer == "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -bench or -check is required (try -list)")
 		return 2
 	}
-	if *jobServer != "" && (*serveAddr != "" || *joinAddr != "" || *replay != "" || *vetOnly || *bench != "") {
-		fmt.Fprintln(os.Stderr, "cxlmc: -jobserver is a standalone mode; submit programs as jobs (cxlmc submit) instead of -bench/-serve/-join/-replay/-vet")
+	if *bench != "" && *checkFile != "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -bench and -check are mutually exclusive (a run checks one program)")
+		return 2
+	}
+	if *entryName != "" && *checkFile == "" {
+		fmt.Fprintln(os.Stderr, "cxlmc: -entry names a function in the -check file; it needs -check")
+		return 2
+	}
+	if *jobServer != "" && (*serveAddr != "" || *joinAddr != "" || *replay != "" || *vetOnly || *bench != "" || *checkFile != "") {
+		fmt.Fprintln(os.Stderr, "cxlmc: -jobserver is a standalone mode; submit programs as jobs (cxlmc submit) instead of -bench/-check/-serve/-join/-replay/-vet")
 		return 2
 	}
 	if *checkpoint != "" && *seeds > 1 {
@@ -386,8 +411,46 @@ func run() int {
 		}()
 	}
 
+	// benchName labels output lines; reproFlags is the flag prefix a
+	// printed repro token needs to replay (the source path replays with
+	// -check/-entry instead of -bench).
+	benchName := *bench
+	reproFlags := "-bench " + *bench
 	var program func(*cxlmc.Program)
-	if *bench == "vet-demo" {
+	if *checkFile != "" {
+		entry := *entryName
+		if entry == "" {
+			entry = "Program"
+		}
+		benchName = *checkFile
+		reproFlags = fmt.Sprintf("-check %s -entry %s", *checkFile, entry)
+		srcBytes, err := os.ReadFile(*checkFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlmc: -check: %v\n", err)
+			return 2
+		}
+		s, err := gofront.Load(*checkFile, srcBytes)
+		if err != nil {
+			printDiagnostics(os.Stderr, err)
+			return 2
+		}
+		if *vetOnly {
+			// The vet dry run doubles as the site-recording pass: the
+			// SiteMap annotates each finding with the source position of
+			// the store/flush/mutex it is about.
+			vprog, sites, err := s.VetProgram(entry)
+			if err != nil {
+				printDiagnostics(os.Stderr, err)
+				return 2
+			}
+			return runVet(cfg, vprog, sites.Annotate, os.Stdout, os.Stderr)
+		}
+		program, err = s.Program(entry)
+		if err != nil {
+			printDiagnostics(os.Stderr, err)
+			return 2
+		}
+	} else if *bench == "vet-demo" {
 		program = analyze.DemoProgram
 	} else if b, ok := harness.ByName(*bench); ok {
 		program = recipe.Program(b, recipe.Config{
@@ -409,7 +472,7 @@ func run() int {
 	}
 
 	if *vetOnly {
-		return runVet(cfg, program, os.Stdout, os.Stderr)
+		return runVet(cfg, program, nil, os.Stdout, os.Stderr)
 	}
 
 	// With race detection on, run the cxlvet pre-pass once up front: its
@@ -433,7 +496,7 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("replayed    %s (seed %d) in %d execution(s), %v\n",
-			*bench, res.Seed, res.Executions, res.Elapsed)
+			benchName, res.Seed, res.Executions, res.Elapsed)
 		if !res.Buggy() {
 			fmt.Println("no bug reproduced — was the program or configuration changed?")
 			return 1
@@ -501,7 +564,7 @@ func run() int {
 	// bugs; shared by local, coordinator and worker modes so their output
 	// is comparable line for line.
 	printResult := func(res *cxlmc.Result, s int64) bool {
-		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", *bench, bugs, *gpf, s)
+		fmt.Printf("benchmark   %s (bugs=%#x, gpf=%v, seed=%d)\n", benchName, bugs, *gpf, s)
 		fmt.Printf("executions  %d (complete=%v)\n", res.Executions, res.Complete)
 		fmt.Printf("fpoints     %d\n", res.FailurePoints)
 		fmt.Printf("rfpoints    %d\n", res.ReadFromPoints)
@@ -543,7 +606,7 @@ func run() int {
 			for _, b := range res.Bugs {
 				fmt.Printf("  %s\n", b)
 				if b.ReproToken != "" {
-					fmt.Printf("    repro: -bench %s -replay %s\n", *bench, b.ReproToken)
+					fmt.Printf("    repro: %s -replay %s\n", reproFlags, b.ReproToken)
 				}
 			}
 			return true
@@ -577,8 +640,8 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "dist: "))
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "cxlmc: coordinator serving the frontier on %s (workers: -bench %s -join %s)\n",
-			coord.Addr(), *bench, coord.Addr())
+		fmt.Fprintf(os.Stderr, "cxlmc: coordinator serving the frontier on %s (workers: %s -join %s)\n",
+			coord.Addr(), reproFlags, coord.Addr())
 		res, err := coord.Wait(nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cxlmc: %v\n", strings.TrimPrefix(err.Error(), "dist: "))
@@ -657,17 +720,30 @@ func listBenchmarks() {
 
 // runVet runs only the cxlvet static pre-pass on program and prints the
 // findings to out in the stable machine-readable format the golden test
-// pins. Exit-code contract: 0 clean, 1 findings, 2 the dry run itself
-// failed.
-func runVet(cfg cxlmc.Config, program func(*cxlmc.Program), out, errw io.Writer) int {
+// pins. annotate, when non-nil, rewrites finding messages after the dry
+// run (the source front-end adds file:line sites). Exit-code contract:
+// 0 clean, 1 findings, 2 the dry run itself failed.
+func runVet(cfg cxlmc.Config, program func(*cxlmc.Program), annotate func(*analyze.Report), out, errw io.Writer) int {
 	rep, err := analyze.Vet(cfg, program)
 	if err != nil {
 		fmt.Fprintf(errw, "cxlmc: vet: %v\n", err)
 		return 2
+	}
+	if annotate != nil {
+		annotate(rep)
 	}
 	rep.WriteText(out)
 	if len(rep.Findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printDiagnostics prints a front-end error — usually a multi-line
+// DiagnosticList of positioned file:line problems — one prefixed line
+// each, the way a compiler would.
+func printDiagnostics(w io.Writer, err error) {
+	for _, line := range strings.Split(err.Error(), "\n") {
+		fmt.Fprintf(w, "cxlmc: %s\n", line)
+	}
 }

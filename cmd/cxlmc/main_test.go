@@ -85,7 +85,7 @@ func TestVetCleanExitsZero(t *testing.T) {
 		})
 	}
 	var out strings.Builder
-	code := runVet(cxlmc.Config{}, clean, &out, os.Stderr)
+	code := runVet(cxlmc.Config{}, clean, nil, &out, os.Stderr)
 	if code != 0 {
 		t.Errorf("runVet on a clean program = %d, want 0; output:\n%s", code, out.String())
 	}

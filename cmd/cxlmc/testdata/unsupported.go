@@ -1,0 +1,16 @@
+// A deliberately unsupported program: checked code must declare its
+// threads with Machine.Spawn during setup, so the go statement below is
+// rejected at load time with a positioned diagnostic. Referenced by the
+// golden test; not built by the Go toolchain (testdata is skipped).
+package main
+
+import "cxl"
+
+func Program(r *cxl.Region) {
+	m := r.NewMachine("m0")
+	m.Spawn("t", func() {
+		go leak()
+	})
+}
+
+func leak() {}

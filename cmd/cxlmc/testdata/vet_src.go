@@ -1,0 +1,40 @@
+// The source-language twin of the vet-demo benchmark: a lock-order
+// cycle between two mutexes and an unflushed publish, written against
+// the gofront/cxl API so `cxlmc -vet -check` can annotate each finding
+// with real source positions. Referenced by the golden test; not built
+// by the Go toolchain (testdata is skipped).
+package main
+
+import "cxl"
+
+func Program(r *cxl.Region) {
+	data := r.AllocAligned(8, 64)
+	flag := r.AllocAligned(8, 64)
+	muA := r.NewMutex("A")
+	muB := r.NewMutex("B")
+
+	writer := r.NewMachine("writer")
+	w0 := writer.Spawn("w0", func() {
+		muA.Lock()
+		muB.Lock()
+		muB.Unlock()
+		muA.Unlock()
+	})
+	writer.Spawn("w1", func() {
+		cxl.JoinAll(w0)
+		muB.Lock()
+		muA.Lock()
+		muA.Unlock()
+		muB.Unlock()
+		cxl.Store64(data, 42)
+		cxl.Store64(flag, 1) // publish: no flush+fence covers data
+	})
+
+	// The reader touches both lines unconditionally so the dry run
+	// classifies them as shared.
+	reader := r.NewMachine("reader")
+	reader.Spawn("r0", func() {
+		cxl.Load64(flag)
+		cxl.Load64(data)
+	})
+}

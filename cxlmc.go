@@ -62,6 +62,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/gofront"
 	"repro/internal/obs"
 )
 
@@ -232,4 +233,27 @@ type VetFinding = analyze.Finding
 // have a subsequent Run report crashes that expose a flagged line.
 func Vet(cfg Config, setup func(*Program)) (*VetReport, error) {
 	return analyze.Vet(cfg, setup)
+}
+
+// ProgramFromSource loads one Go source file written against the
+// public gofront/cxl API (import "cxl" or "repro/gofront/cxl"), type-
+// checks it against the supported subset, and returns the checker
+// program for the named entry function (signature func(*cxl.Region);
+// "" means "Program"). The returned program is an ordinary setup
+// function: Run, Replay, Vet, the distributed modes and the job server
+// all work on it unchanged, and its repro tokens are interchangeable
+// with a hand-ported program whose setup stream is identical.
+//
+// Errors are positioned file:line diagnostics (parse errors, type
+// errors, unsupported constructs, a missing or mis-typed entry), never
+// panics.
+func ProgramFromSource(filename string, src []byte, entry string) (func(*Program), error) {
+	s, err := gofront.Load(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if entry == "" {
+		entry = "Program"
+	}
+	return s.Program(entry)
 }

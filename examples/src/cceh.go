@@ -1,0 +1,414 @@
+// CCEH (Cacheline-Conscious Extendible Hashing) over CXL shared
+// memory, written as an ordinary Go program against the gofront/cxl
+// API — the source-checked twin of the hand-ported benchmark in
+// internal/recipe/cceh. It runs two ways:
+//
+//	go run ./examples/src            # native: plain goroutines, no checking
+//	cxlmc -check examples/src/cceh.go  # model-checked: the front-end
+//	                                   # interprets Program and explores
+//	                                   # schedules and machine failures
+//
+// The seeded bug is Table 3 #1 (the constructor does not flush the
+// segment array), so the checked run reports the same
+// "committed key N missing after failure" assertion bugs — with the
+// same repro tokens — as `cxlmc -bench cceh -bugs 0x1`. The layout,
+// the split journal protocol and the driver (two machines, one insert
+// worker each, per-key commit flags, surviving-machine verification)
+// mirror the hand-ported version line for line; see
+// internal/recipe/cceh for the full protocol commentary.
+package main
+
+import "repro/gofront/cxl"
+
+// Seeded constructor bugs (Table 3 numbering).
+const (
+	bugCtorSegmentFlush   = 1 << iota // #1: segment array never flushed
+	bugCtorDirectoryFlush             // #2: directory object never flushed
+	bugCtorHeaderFlush                // #3: header pointer never flushed
+)
+
+// seededBugs selects which constructor bugs this file ships with.
+const seededBugs = bugCtorSegmentFlush
+
+const (
+	offDirMeta    = 0
+	offJournal    = 8
+	offJournalNew = 16
+
+	initDepth  = 1 // initial global/local depth: two segments
+	slotLines  = 2 // slot lines per segment
+	slotsPer   = slotLines * 4
+	slotSize   = 16
+	segSize    = 64 + slotLines*64
+	maxDepth   = 8
+	keyOffset  = 0
+	valOffset  = 8
+	hashGolden = 0x9E3779B97F4A7C15
+)
+
+// Driver shape: the paper's Table 5 configuration (2 machines × 2
+// threads: one insert worker and one checker per machine).
+const (
+	keys              = 10
+	workersPerMachine = 1
+)
+
+type cceh struct {
+	mu     *cxl.Mutex
+	header cxl.Ptr
+	bugs   uint64
+}
+
+func newCCEH(r *cxl.Region, bugs uint64) *cceh {
+	return &cceh{
+		mu:     r.NewMutex("cceh"),
+		header: r.AllocAligned(64, 64),
+		bugs:   bugs,
+	}
+}
+
+func hasBug(bugs, b uint64) bool { return bugs&b != 0 }
+
+func hash(key uint64) uint64 { return key * hashGolden }
+
+// keyValue is the deterministic value stored for a key (nonzero for any
+// key).
+func keyValue(key uint64) uint64 { return key*hashGolden | 1 }
+
+// dirIndex routes a hash to a directory slot under global depth g.
+func dirIndex(h, g uint64) uint64 { return h >> (64 - g) }
+
+// initTable runs the constructor: allocate the directory and two
+// segments, initialize and (modulo seeded bugs) flush them, and publish
+// the header.
+func (c *cceh) initTable() {
+	arr := cxl.AllocAligned(uint64(8<<initDepth), 64)
+	for i := 0; i < 1<<initDepth; i++ {
+		seg := c.newSegment(initDepth, true)
+		cxl.Store64(arr+cxl.Ptr(8*i), uint64(seg))
+	}
+	if !hasBug(c.bugs, bugCtorSegmentFlush) {
+		for off := cxl.Ptr(0); off < cxl.Ptr(8<<initDepth); off += 64 {
+			cxl.FlushOpt(arr + off)
+		}
+		cxl.Fence()
+	}
+	dirObj := c.newDirObject(initDepth, arr, !hasBug(c.bugs, bugCtorDirectoryFlush))
+	cxl.Store64(c.header+offDirMeta, uint64(dirObj))
+	if !hasBug(c.bugs, bugCtorHeaderFlush) {
+		cxl.Flush(c.header)
+		cxl.Fence()
+	}
+}
+
+// newDirObject publishes an immutable {globalDepth, segmentArray} pair.
+func (c *cceh) newDirObject(depth uint64, arr cxl.Ptr, flush bool) cxl.Ptr {
+	d := cxl.AllocAligned(64, 64)
+	cxl.Store64(d, depth)
+	cxl.Store64(d+8, uint64(arr))
+	if flush {
+		cxl.Flush(d)
+		cxl.Fence()
+	}
+	return d
+}
+
+// newSegment allocates a segment with the given local depth; flushDepth
+// controls whether the depth word is flushed (the constructor bug skips
+// it; splits always flush).
+func (c *cceh) newSegment(depth uint64, flushDepth bool) cxl.Ptr {
+	seg := cxl.AllocAligned(segSize, 64)
+	cxl.Store64(seg, depth)
+	if flushDepth {
+		cxl.Flush(seg)
+		cxl.Fence()
+	}
+	return seg
+}
+
+// slotAddr returns the address of slot i in seg: slots are packed four
+// per line after the segment header line.
+func slotAddr(seg cxl.Ptr, i int) cxl.Ptr {
+	return seg + 64 + cxl.Ptr(i*slotSize)
+}
+
+// loadMeta chases the header to the current (segment array, globalDepth).
+func (c *cceh) loadMeta() (cxl.Ptr, uint64) {
+	dirObj := cxl.Ptr(cxl.Load64(c.header + offDirMeta))
+	g := cxl.Load64(dirObj)
+	arr := cxl.Ptr(cxl.Load64(dirObj + 8))
+	return arr, g
+}
+
+// recoverSplit redoes a journaled split left behind by a failed lock
+// owner.
+func (c *cceh) recoverSplit() {
+	j := cxl.Load64(c.header + offJournal)
+	if j == 0 {
+		return
+	}
+	oldSeg := cxl.Ptr(j &^ 63)
+	targetDepth := j & 63
+	newSeg := cxl.Ptr(cxl.Load64(c.header + offJournalNew))
+	c.redoSplit(oldSeg, newSeg, targetDepth)
+	c.clearJournal()
+}
+
+func (c *cceh) clearJournal() {
+	cxl.Store64(c.header+offJournal, 0)
+	cxl.Flush(c.header)
+	cxl.Fence()
+}
+
+// insert adds key→val (keys are unique in the workload; re-inserting an
+// existing key updates it).
+func (c *cceh) insert(key, val uint64) {
+	if c.mu.Lock() {
+		// The previous lock owner's machine failed: redo any split it
+		// left half done before trusting segment state.
+		c.recoverSplit()
+	}
+	defer c.mu.Unlock()
+	for {
+		if c.tryInsert(key, val) {
+			return
+		}
+		// Target segment full: split it and retry.
+		c.split(hash(key))
+	}
+}
+
+func (c *cceh) tryInsert(key, val uint64) bool {
+	h := hash(key)
+	dir, g := c.loadMeta()
+	seg := cxl.Ptr(cxl.Load64(dir + cxl.Ptr(8*dirIndex(h, g))))
+	start := int(h % slotsPer)
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(seg, (start+i)%slotsPer)
+		k := cxl.Load64(s + keyOffset)
+		if k == key {
+			cxl.Store64(s+valOffset, val)
+			cxl.Flush(s)
+			cxl.Fence()
+			return true
+		}
+		if k == 0 {
+			// Value first, then key: the key's visibility commits the
+			// slot, and the single flush covers both (same line).
+			cxl.Store64(s+valOffset, val)
+			cxl.Store64(s+keyOffset, key)
+			cxl.Flush(s)
+			cxl.Fence()
+			return true
+		}
+	}
+	return false
+}
+
+// split splits the segment that hash h routes to, doubling the
+// directory first when the segment is already at global depth. The
+// split is journaled so a surviving machine can redo it if this one
+// dies mid-way.
+func (c *cceh) split(h uint64) {
+	dir, g := c.loadMeta()
+	oldSeg := cxl.Ptr(cxl.Load64(dir + cxl.Ptr(8*dirIndex(h, g))))
+	l := cxl.Load64(oldSeg)
+	if l >= g {
+		c.doubleDirectory()
+	}
+
+	// Journal first: new segment identity below old|targetDepth, so a
+	// persisted journal word implies a persisted new-segment word
+	// (same-line store order).
+	newSeg := c.newSegment(l+1, true)
+	cxl.Store64(c.header+offJournalNew, uint64(newSeg))
+	cxl.Store64(c.header+offJournal, uint64(oldSeg)|(l+1))
+	cxl.Flush(c.header)
+	cxl.Fence()
+
+	c.redoSplit(oldSeg, newSeg, l+1)
+	c.clearJournal()
+
+	// Clean moved slots only after the journal is gone: a redo must
+	// still find every entry in the old segment.
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(oldSeg, i)
+		k := cxl.Load64(s + keyOffset)
+		if k != 0 && (hash(k)>>(64-(l+1)))&1 == 1 {
+			cxl.Store64(s+keyOffset, 0)
+			cxl.FlushOpt(s)
+		}
+	}
+	cxl.Fence()
+}
+
+// redoSplit performs (or re-performs, idempotently) the journaled split
+// of oldSeg into newSeg at targetDepth.
+func (c *cceh) redoSplit(oldSeg, newSeg cxl.Ptr, targetDepth uint64) {
+	cxl.Store64(oldSeg, targetDepth)
+	cxl.Flush(oldSeg)
+	cxl.Fence()
+
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(oldSeg, i)
+		k := cxl.Load64(s + keyOffset)
+		if k == 0 {
+			continue
+		}
+		if (hash(k)>>(64-targetDepth))&1 == 1 {
+			v := cxl.Load64(s + valOffset)
+			ns := slotAddr(newSeg, i)
+			cxl.Store64(ns+valOffset, v)
+			cxl.Store64(ns+keyOffset, k)
+		}
+	}
+	for off := cxl.Ptr(0); off < segSize; off += 64 {
+		cxl.FlushOpt(newSeg + off)
+	}
+	cxl.Fence()
+
+	// Repoint by scanning the directory: entries still pointing at the
+	// old segment whose index carries the new routing bit move to the
+	// new segment.
+	dir, g := c.loadMeta()
+	for i := uint64(0); i < uint64(1)<<g; i++ {
+		e := dir + cxl.Ptr(8*i)
+		if cxl.Ptr(cxl.Load64(e)) == oldSeg && (i>>(g-targetDepth))&1 == 1 {
+			cxl.Store64(e, uint64(newSeg))
+			cxl.FlushOpt(e)
+		}
+	}
+	cxl.Fence()
+}
+
+// doubleDirectory doubles the directory: a fresh segment array and a
+// fresh immutable directory object, committed by the single flushed
+// store of the header pointer.
+func (c *cceh) doubleDirectory() {
+	arr, g := c.loadMeta()
+	if g+1 > maxDepth {
+		cxl.Fail("cceh: directory beyond max depth %d", maxDepth)
+	}
+	size := uint64(8) << g
+	newArr := cxl.AllocAligned(size*2, 64)
+	for i := uint64(0); i < uint64(1)<<g; i++ {
+		segPtr := cxl.Load64(arr + cxl.Ptr(8*i))
+		cxl.Store64(newArr+cxl.Ptr(16*i), segPtr)
+		cxl.Store64(newArr+cxl.Ptr(16*i+8), segPtr)
+	}
+	for off := cxl.Ptr(0); off < cxl.Ptr(size*2); off += 64 {
+		cxl.FlushOpt(newArr + off)
+	}
+	cxl.Fence()
+	dirObj := c.newDirObject(g+1, newArr, true)
+	cxl.Store64(c.header+offDirMeta, uint64(dirObj))
+	cxl.Flush(c.header)
+	cxl.Fence()
+}
+
+// lookup returns the value for key. It must be crash-safe: traversing
+// the structure after a partial failure must not fault when the
+// structure is correct.
+func (c *cceh) lookup(key uint64) (uint64, bool) {
+	h := hash(key)
+	dir, g := c.loadMeta()
+	seg := cxl.Ptr(cxl.Load64(dir + cxl.Ptr(8*dirIndex(h, g))))
+	start := int(h % slotsPer)
+	for i := 0; i < slotsPer; i++ {
+		s := slotAddr(seg, (start+i)%slotsPer)
+		if cxl.Load64(s+keyOffset) == key {
+			return cxl.Load64(s + valOffset), true
+		}
+	}
+	return 0, false
+}
+
+// verify asserts the post-failure contract on a surviving machine:
+// every committed key is present with the right value.
+func verify(c *cceh, progress cxl.Ptr) {
+	for k := 1; k <= keys; k++ {
+		key := uint64(k)
+		state := cxl.Load64(progress + cxl.Ptr((k-1)*8))
+		v, found := c.lookup(key)
+		switch state {
+		case 1:
+			cxl.Assert(found, "committed key %d missing after failure", k)
+			cxl.Assert(v == keyValue(key), "committed key %d has value %#x, want %#x", k, v, keyValue(key))
+		case 2:
+			cxl.Assert(!found, "deleted key %d resurrected after failure (value %#x)", k, v)
+		}
+	}
+}
+
+// Program is the checker entry point: the paper's evaluation shape.
+// One machine constructs the table and publishes it with a flushed
+// ready flag; a worker on each machine inserts its half of the keys in
+// descending order, recording each completed insert in a flushed
+// per-key progress flag (the commit-store pattern); a checker on each
+// machine waits for everything to finish or fail and verifies that
+// every committed key survived.
+func Program(r *cxl.Region) {
+	c := newCCEH(r, seededBugs)
+	ready := r.AllocAligned(8, 64)
+	progress := r.AllocAligned(keys*8, 64)
+	node0 := r.NewMachine("node0")
+	node1 := r.NewMachine("node1")
+	nodes := []*cxl.Machine{node0, node1}
+
+	initT := node0.Spawn("init", func() {
+		c.initTable()
+		// Publish the structure with the commit-store pattern.
+		cxl.Store64(ready, 1)
+		cxl.Flush(ready)
+		cxl.Fence()
+	})
+
+	totalWorkers := workersPerMachine * len(nodes)
+	workerNames := []string{"w0", "w1"}
+	var workers []*cxl.Thread
+	w := 0
+	for _, m := range nodes {
+		for wi := 0; wi < workersPerMachine; wi++ {
+			id := w
+			workers = append(workers, m.Spawn(workerNames[id], func() {
+				cxl.JoinAll(initT)
+				if cxl.Load64(ready) != 1 {
+					return // construction never committed
+				}
+				// Insert this worker's partition in descending order so
+				// the structure sees mid-segment insertion under any
+				// schedule.
+				var part []int
+				for k := id + 1; k <= keys; k += totalWorkers {
+					part = append(part, k)
+				}
+				for i := len(part) - 1; i >= 0; i-- {
+					k := part[i]
+					key := uint64(k)
+					c.insert(key, keyValue(key))
+					// Commit store: the key is durable once its
+					// progress flag is flushed.
+					cxl.Store64(progress+cxl.Ptr((k-1)*8), 1)
+					cxl.Flush(progress + cxl.Ptr((k-1)*8))
+					cxl.Fence()
+				}
+			}))
+			w++
+		}
+	}
+
+	all := append([]*cxl.Thread{initT}, workers...)
+	for _, m := range nodes {
+		m.Spawn("check", func() {
+			cxl.JoinAll(all...)
+			if cxl.Load64(ready) != 1 {
+				return
+			}
+			verify(c, progress)
+		})
+	}
+}
+
+func main() {
+	cxl.RunNative(Program)
+}

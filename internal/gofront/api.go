@@ -1,0 +1,118 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// apiSrc is the declarations-only mirror of the public gofront/cxl
+// package, used to type-check user source without compiled export data:
+// the synthetic importer type-checks this string once and hands the
+// resulting *types.Package to every Load. Function bodies are omitted
+// (bodyless package-level functions are legal Go); the drift test in
+// api_test.go asserts this surface stays a subset of the real package
+// with identical signatures.
+const apiSrc = `package cxl
+
+type Ptr uint64
+
+type Region struct{ _ int }
+
+func (r *Region) Alloc(size uint64) Ptr
+func (r *Region) AllocAligned(size, align uint64) Ptr
+func (r *Region) Init64(p Ptr, v uint64)
+func (r *Region) NewMachine(name string) *Machine
+func (r *Region) NewMutex(name string) *Mutex
+
+type Machine struct{ _ int }
+
+func (m *Machine) Spawn(name string, fn func()) *Thread
+
+type Thread struct{ _ int }
+
+type Mutex struct{ _ int }
+
+func (mu *Mutex) Lock() bool
+func (mu *Mutex) TryLock() (acquired, ownerFailed bool)
+func (mu *Mutex) Unlock()
+func (mu *Mutex) OwnerFailed() bool
+
+func Load8(p Ptr) uint8
+func Load16(p Ptr) uint16
+func Load32(p Ptr) uint32
+func Load64(p Ptr) uint64
+func Store8(p Ptr, v uint8)
+func Store16(p Ptr, v uint16)
+func Store32(p Ptr, v uint32)
+func Store64(p Ptr, v uint64)
+func Flush(p Ptr)
+func FlushOpt(p Ptr)
+func CLWB(p Ptr)
+func Fence()
+func MFence()
+func CAS64(p Ptr, old, new uint64) (prev uint64, swapped bool)
+func CAS32(p Ptr, old, new uint32) (prev uint32, swapped bool)
+func Swap64(p Ptr, v uint64) (prev uint64)
+func FetchAdd64(p Ptr, delta uint64) (prev uint64)
+func FetchAdd32(p Ptr, delta uint32) (prev uint32)
+func Alloc(size uint64) Ptr
+func AllocAligned(size, align uint64) Ptr
+func Assert(cond bool, format string, args ...any)
+func Fail(format string, args ...any)
+func Join(m *Machine) (failedMachine bool)
+func JoinAll(ts ...*Thread)
+func Yield()
+func Failpoint(name string)
+func RunNative(program func(*Region)) *Region
+`
+
+// cxlImportPaths are the import paths the synthetic importer resolves
+// to the cxl API package: the bare form for standalone files and the
+// module-qualified form that makes example files buildable by the
+// ordinary Go toolchain.
+var cxlImportPaths = map[string]bool{
+	"cxl":               true,
+	"repro/gofront/cxl": true,
+}
+
+var (
+	apiOnce sync.Once
+	apiPkg  *types.Package
+	apiErr  error
+)
+
+// cxlAPI type-checks apiSrc once and returns the synthetic cxl package.
+func cxlAPI() (*types.Package, error) {
+	apiOnce.Do(func() {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "cxl.go", apiSrc, parser.SkipObjectResolution)
+		if err != nil {
+			apiErr = err
+			return
+		}
+		conf := types.Config{}
+		apiPkg, apiErr = conf.Check("cxl", fset, []*ast.File{f}, nil)
+	})
+	return apiPkg, apiErr
+}
+
+// synthImporter resolves the cxl import (under either path) to the
+// synthetic API package and rejects everything else: checked programs
+// import only cxl.
+type synthImporter struct{}
+
+func (synthImporter) Import(path string) (*types.Package, error) {
+	if cxlImportPaths[path] {
+		return cxlAPI()
+	}
+	return nil, &unsupportedImportError{path: path}
+}
+
+type unsupportedImportError struct{ path string }
+
+func (e *unsupportedImportError) Error() string {
+	return `checked programs may only import "cxl" (or "repro/gofront/cxl"); cannot import "` + e.path + `"`
+}

@@ -1,0 +1,118 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAPIMatchesNativePackage guards against drift between apiSrc (the
+// synthetic surface the checker type-checks user code against) and the
+// real gofront/cxl package (the native runtime the same code builds
+// against): every exported object in apiSrc must exist in the native
+// package with an identical type. The native package may carry extras
+// (test hooks like Region.Peek64) that checked code simply cannot use.
+func TestAPIMatchesNativePackage(t *testing.T) {
+	synth, err := cxlAPI()
+	if err != nil {
+		t.Fatalf("cxlAPI: %v", err)
+	}
+
+	dir := filepath.Join("..", "..", "gofront", "cxl")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		f, err := parser.ParseFile(fset, e.Name(), src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("ParseFile(%s): %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	native, err := conf.Check("repro/gofront/cxl", fset, files, nil)
+	if err != nil {
+		t.Fatalf("type-checking native cxl package: %v", err)
+	}
+
+	// Relative qualifier so "cxl.Ptr" prints the same from both
+	// packages.
+	qual := func(p *types.Package) func(*types.Package) string {
+		return func(other *types.Package) string {
+			if other == p {
+				return ""
+			}
+			return other.Name()
+		}
+	}
+
+	typeString := func(pkg *types.Package, obj types.Object) string {
+		return types.TypeString(obj.Type(), qual(pkg))
+	}
+	methodSet := func(pkg *types.Package, obj types.Object) map[string]string {
+		out := map[string]string{}
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			return out
+		}
+		ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Exported() {
+				out[m.Name()] = types.TypeString(m.Type(), qual(pkg))
+			}
+		}
+		return out
+	}
+
+	for _, name := range synth.Scope().Names() {
+		sobj := synth.Scope().Lookup(name)
+		if !sobj.Exported() {
+			continue
+		}
+		nobj := native.Scope().Lookup(name)
+		if nobj == nil {
+			t.Errorf("apiSrc declares %s but the native gofront/cxl package does not", name)
+			continue
+		}
+		if _, isType := sobj.(*types.TypeName); isType {
+			// Struct internals intentionally differ (apiSrc uses opaque
+			// placeholders); compare the exported method sets instead.
+			sm, nm := methodSet(synth, sobj), methodSet(native, nobj)
+			for mname, msig := range sm {
+				if nsig, ok := nm[mname]; !ok {
+					t.Errorf("apiSrc method %s.%s missing from native package", name, mname)
+				} else if nsig != msig {
+					t.Errorf("method %s.%s signature drift:\n  apiSrc: %s\n  native: %s", name, mname, msig, nsig)
+				}
+			}
+			// The underlying kind of basic named types must agree
+			// (Ptr's uint64-ness is load-bearing for the interpreter).
+			if sb, ok := sobj.Type().Underlying().(*types.Basic); ok {
+				nb, ok := nobj.Type().Underlying().(*types.Basic)
+				if !ok || nb.Kind() != sb.Kind() {
+					t.Errorf("type %s underlying drift: apiSrc %s, native %s", name, sobj.Type().Underlying(), nobj.Type().Underlying())
+				}
+			}
+			continue
+		}
+		if got, want := typeString(native, nobj), typeString(synth, sobj); got != want {
+			t.Errorf("%s signature drift:\n  apiSrc: %s\n  native: %s", name, want, got)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/core"
+)
+
+// evalCall resolves and immediately performs a call expression.
+func (ic *interp) evalCall(fr *frame, sc *scope, call *ast.CallExpr) []value {
+	return ic.prepareCall(fr, sc, call)()
+}
+
+// prepareCall resolves the callee and evaluates the arguments (and any
+// method receiver) eagerly, returning a closure that performs the call:
+// the split is what gives defer its Go semantics (arguments at defer
+// time, call at unwind time).
+func (ic *interp) prepareCall(fr *frame, sc *scope, call *ast.CallExpr) func() []value {
+	info := ic.ec.src.info
+	pos := call.Pos()
+
+	// Type conversion: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		arg := ic.evalExpr(fr, sc, call.Args[0])
+		return func() []value { return []value{ic.convert(arg, tv.Type, pos)} }
+	}
+
+	// Builtin: len/cap/append/make.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return ic.prepareBuiltin(fr, sc, b.Name(), call)
+		}
+	}
+
+	// Selector: cxl package function, cxl method, or user method.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() == ic.ec.src.cxlPkg {
+			if selInfo, isMethod := info.Selections[sel]; isMethod && selInfo.Kind() == types.MethodVal {
+				recv := ic.evalExpr(fr, sc, sel.X)
+				args := ic.evalArgs(fr, sc, call)
+				return func() []value { return ic.cxlMethod(fn.Name(), recv, args, pos) }
+			}
+			args := ic.evalArgs(fr, sc, call)
+			expand := call.Ellipsis.IsValid()
+			return func() []value { return ic.cxlFunc(fn.Name(), args, expand, pos) }
+		}
+		if selInfo, ok := info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			recv := ic.evalExpr(fr, sc, sel.X)
+			tname := namedTypeName(selInfo.Recv())
+			decl, ok := ic.ec.src.methods[methodKey{typeName: tname, method: sel.Sel.Name}]
+			if !ok {
+				ic.faultf(pos, "method %s.%s has no interpretable body", tname, sel.Sel.Name)
+			}
+			fn := funcVal{decl: decl, recv: recv, hasRecv: true}
+			args := ic.evalArgs(fr, sc, call)
+			return func() []value { return ic.invoke(fn, args, pos) }
+		}
+		ic.faultf(pos, "unsupported call target")
+	}
+
+	// Plain function value: named function or a closure in a variable.
+	fnv, ok := ic.evalExpr(fr, sc, call.Fun).(funcVal)
+	if !ok {
+		ic.faultf(pos, "call of non-function value")
+	}
+	args := ic.evalArgs(fr, sc, call)
+	return func() []value { return ic.invoke(fnv, args, pos) }
+}
+
+func (ic *interp) evalArgs(fr *frame, sc *scope, call *ast.CallExpr) []value {
+	args := make([]value, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = ic.evalExpr(fr, sc, a)
+	}
+	return args
+}
+
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func (ic *interp) convert(v value, t types.Type, pos token.Pos) value {
+	k, ok := basicKindOf(t)
+	if !ok {
+		ic.faultf(pos, "unsupported conversion to %s", t)
+	}
+	switch x := v.(type) {
+	case num:
+		if !isIntegerKind(k) {
+			ic.faultf(pos, "unsupported conversion of integer to %s", t)
+		}
+		// Conversion semantics: signed sources sign-extend, then the
+		// target kind truncates.
+		bits := x.bits
+		if kindSigned(x.kind) {
+			bits = uint64(x.signed())
+		}
+		return makeNum(bits, k)
+	case boolVal:
+		if k == types.Bool {
+			return x
+		}
+	case strVal:
+		if k == types.String {
+			return x
+		}
+	}
+	ic.faultf(pos, "unsupported conversion to %s", t)
+	return nil
+}
+
+func (ic *interp) prepareBuiltin(fr *frame, sc *scope, name string, call *ast.CallExpr) func() []value {
+	pos := call.Pos()
+	switch name {
+	case "len", "cap":
+		arg := ic.evalExpr(fr, sc, call.Args[0])
+		return func() []value {
+			switch x := arg.(type) {
+			case sliceVal:
+				if name == "cap" {
+					return []value{makeNum(uint64(cap(x.elems)), types.Int)}
+				}
+				return []value{makeNum(uint64(len(x.elems)), types.Int)}
+			case strVal:
+				return []value{makeNum(uint64(len(x)), types.Int)}
+			}
+			ic.faultf(pos, "%s of unsupported value", name)
+			return nil
+		}
+	case "append":
+		base, ok := ic.evalExpr(fr, sc, call.Args[0]).(sliceVal)
+		if !ok {
+			ic.faultf(pos, "append to non-slice value")
+		}
+		var extra []value
+		if call.Ellipsis.IsValid() {
+			s2, ok := ic.evalExpr(fr, sc, call.Args[1]).(sliceVal)
+			if !ok {
+				ic.faultf(pos, "append of non-slice with ...")
+			}
+			extra = s2.elems
+		} else {
+			for _, a := range call.Args[1:] {
+				extra = append(extra, ic.evalExpr(fr, sc, a))
+			}
+		}
+		return func() []value {
+			return []value{sliceVal{elems: append(base.elems, extra...), elem: base.elem}}
+		}
+	case "make":
+		tv := ic.ec.src.info.Types[call.Args[0]]
+		st, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			ic.faultf(pos, "make of non-slice type is unsupported")
+		}
+		n, okN := ic.evalExpr(fr, sc, call.Args[1]).(num)
+		if !okN || n.signed() < 0 {
+			ic.faultf(pos, "make with invalid length")
+		}
+		if len(call.Args) > 2 {
+			ic.evalExpr(fr, sc, call.Args[2]) // capacity: evaluated, not modeled
+		}
+		return func() []value {
+			elems := make([]value, n.signed())
+			for i := range elems {
+				zv, ok := zeroValue(st.Elem())
+				if !ok {
+					ic.faultf(pos, "make of slice with unsupported element type %s", st.Elem())
+				}
+				elems[i] = zv
+			}
+			return []value{sliceVal{elems: elems, elem: st.Elem()}}
+		}
+	}
+	ic.faultf(pos, "unsupported builtin %s", name)
+	return nil
+}
+
+// ---- cxl API lowering ----
+
+func (ic *interp) setupOnly(name string, pos token.Pos) *core.Program {
+	if ic.t != nil {
+		ic.faultf(pos, "cxl: %s is setup-only (call it from the entry function, not from a spawned thread)", name)
+	}
+	return ic.ec.prog
+}
+
+func (ic *interp) threadOnly(name string, pos token.Pos) *core.Thread {
+	if ic.t == nil {
+		ic.faultf(pos, "cxl.%s runs on a simulated thread; it cannot be called during setup (use Machine.Spawn)", name)
+	}
+	return ic.t
+}
+
+func (ic *interp) argNum(args []value, i int, what string, pos token.Pos) num {
+	n, ok := args[i].(num)
+	if !ok {
+		ic.faultf(pos, "cxl: %s argument %d must be an integer", what, i+1)
+	}
+	return n
+}
+
+func (ic *interp) argAddr(args []value, i int, what string, pos token.Pos) core.Addr {
+	return core.Addr(ic.argNum(args, i, what, pos).bits)
+}
+
+func (ic *interp) argStr(args []value, i int, what string, pos token.Pos) string {
+	s, ok := args[i].(strVal)
+	if !ok {
+		ic.faultf(pos, "cxl: %s argument %d must be a string", what, i+1)
+	}
+	return string(s)
+}
+
+// cxlMethod dispatches methods on cxl API objects (Region, Machine,
+// Mutex).
+func (ic *interp) cxlMethod(name string, recv value, args []value, pos token.Pos) []value {
+	switch r := recv.(type) {
+	case regionVal:
+		p := ic.setupOnly("Region."+name, pos)
+		switch name {
+		case "Alloc":
+			return []value{makeNum(uint64(p.Alloc(ic.argNum(args, 0, name, pos).bits)), types.Uint64)}
+		case "AllocAligned":
+			return []value{makeNum(uint64(p.AllocAligned(
+				ic.argNum(args, 0, name, pos).bits, ic.argNum(args, 1, name, pos).bits)), types.Uint64)}
+		case "Init64":
+			p.Init64(ic.argAddr(args, 0, name, pos), ic.argNum(args, 1, name, pos).bits)
+			return nil
+		case "NewMachine":
+			return []value{machineVal{m: p.NewMachine(ic.argStr(args, 0, name, pos))}}
+		case "NewMutex":
+			mname := ic.argStr(args, 0, name, pos)
+			ic.ec.sites.recordMutex(mname, pos)
+			return []value{mutexVal{mu: p.NewMutex(mname)}}
+		}
+
+	case machineVal:
+		if name != "Spawn" {
+			break
+		}
+		ic.setupOnly("Machine.Spawn", pos)
+		tname := ic.argStr(args, 0, name, pos)
+		fn, ok := args[1].(funcVal)
+		if !ok {
+			ic.faultf(pos, "cxl: Machine.Spawn needs a func() argument")
+		}
+		ec := ic.ec
+		t := r.m.Thread(tname, func(t *core.Thread) {
+			tic := &interp{ec: ec, t: t}
+			tic.invoke(fn, nil, pos)
+		})
+		return []value{threadVal{t: t}}
+
+	case mutexVal:
+		t := ic.threadOnly("Mutex."+name, pos)
+		switch name {
+		case "Lock":
+			return []value{boolVal(r.mu.Lock(t))}
+		case "TryLock":
+			acquired, ownerFailed := r.mu.TryLock(t)
+			return []value{boolVal(acquired), boolVal(ownerFailed)}
+		case "Unlock":
+			r.mu.Unlock(t)
+			return nil
+		case "OwnerFailed":
+			return []value{boolVal(r.mu.OwnerFailed())}
+		}
+	}
+	ic.faultf(pos, "unsupported cxl method %s", name)
+	return nil
+}
+
+// cxlFunc dispatches the package-level cxl functions — the thread
+// operations that lower to simulated events.
+func (ic *interp) cxlFunc(name string, args []value, expandEllipsis bool, pos token.Pos) []value {
+	if name == "RunNative" {
+		ic.faultf(pos, "cxl.RunNative is native-only: the checker calls the entry function directly (keep RunNative inside func main)")
+	}
+	t := ic.threadOnly(name, pos)
+	switch name {
+	case "Load8":
+		return []value{makeNum(uint64(t.Load8(ic.argAddr(args, 0, name, pos))), types.Uint8)}
+	case "Load16":
+		return []value{makeNum(uint64(t.Load16(ic.argAddr(args, 0, name, pos))), types.Uint16)}
+	case "Load32":
+		return []value{makeNum(uint64(t.Load32(ic.argAddr(args, 0, name, pos))), types.Uint32)}
+	case "Load64":
+		return []value{makeNum(t.Load64(ic.argAddr(args, 0, name, pos)), types.Uint64)}
+	case "Store8", "Store16", "Store32", "Store64":
+		a := ic.argAddr(args, 0, name, pos)
+		v := ic.argNum(args, 1, name, pos).bits
+		ic.ec.sites.recordStore(a, pos)
+		switch name {
+		case "Store8":
+			t.Store8(a, uint8(v))
+		case "Store16":
+			t.Store16(a, uint16(v))
+		case "Store32":
+			t.Store32(a, uint32(v))
+		case "Store64":
+			t.Store64(a, v)
+		}
+		return nil
+	case "Flush":
+		a := ic.argAddr(args, 0, name, pos)
+		ic.ec.sites.recordFlush(a, pos)
+		t.CLFlush(a)
+		return nil
+	case "FlushOpt":
+		a := ic.argAddr(args, 0, name, pos)
+		ic.ec.sites.recordFlush(a, pos)
+		t.CLFlushOpt(a)
+		return nil
+	case "CLWB":
+		a := ic.argAddr(args, 0, name, pos)
+		ic.ec.sites.recordFlush(a, pos)
+		t.CLWB(a)
+		return nil
+	case "Fence":
+		t.SFence()
+		return nil
+	case "MFence":
+		t.MFence()
+		return nil
+	case "CAS64":
+		prev, swapped := t.CAS64(ic.argAddr(args, 0, name, pos),
+			ic.argNum(args, 1, name, pos).bits, ic.argNum(args, 2, name, pos).bits)
+		return []value{makeNum(prev, types.Uint64), boolVal(swapped)}
+	case "CAS32":
+		prev, swapped := t.CAS32(ic.argAddr(args, 0, name, pos),
+			uint32(ic.argNum(args, 1, name, pos).bits), uint32(ic.argNum(args, 2, name, pos).bits))
+		return []value{makeNum(uint64(prev), types.Uint32), boolVal(swapped)}
+	case "Swap64":
+		return []value{makeNum(t.Swap64(ic.argAddr(args, 0, name, pos),
+			ic.argNum(args, 1, name, pos).bits), types.Uint64)}
+	case "FetchAdd64":
+		return []value{makeNum(t.FetchAdd64(ic.argAddr(args, 0, name, pos),
+			ic.argNum(args, 1, name, pos).bits), types.Uint64)}
+	case "FetchAdd32":
+		return []value{makeNum(uint64(t.FetchAdd32(ic.argAddr(args, 0, name, pos),
+			uint32(ic.argNum(args, 1, name, pos).bits))), types.Uint32)}
+	case "Alloc":
+		return []value{makeNum(uint64(t.Alloc(ic.argNum(args, 0, name, pos).bits)), types.Uint64)}
+	case "AllocAligned":
+		return []value{makeNum(uint64(t.AllocAligned(
+			ic.argNum(args, 0, name, pos).bits, ic.argNum(args, 1, name, pos).bits)), types.Uint64)}
+	case "Assert":
+		cond, ok := args[0].(boolVal)
+		if !ok {
+			ic.faultf(pos, "cxl.Assert needs a boolean first argument")
+		}
+		t.Assert(bool(cond), ic.argStr(args, 1, name, pos), boxArgs(args[2:])...)
+		return nil
+	case "Fail":
+		t.Fail(ic.argStr(args, 0, name, pos), boxArgs(args[1:])...)
+		return nil
+	case "Join":
+		m, ok := args[0].(machineVal)
+		if !ok {
+			ic.faultf(pos, "cxl.Join needs a *cxl.Machine argument")
+		}
+		return []value{boolVal(t.Join(m.m))}
+	case "JoinAll":
+		var vs []value
+		if expandEllipsis {
+			s, ok := args[len(args)-1].(sliceVal)
+			if !ok {
+				ic.faultf(pos, "cxl.JoinAll with ... needs a slice")
+			}
+			vs = append(args[:len(args)-1:len(args)-1], s.elems...)
+		} else {
+			vs = args
+		}
+		targets := make([]*core.Thread, len(vs))
+		for i, v := range vs {
+			tv, ok := v.(threadVal)
+			if !ok {
+				ic.faultf(pos, "cxl.JoinAll argument %d is not a *cxl.Thread", i+1)
+			}
+			targets[i] = tv.t
+		}
+		t.JoinThreads(targets...)
+		return nil
+	case "Yield", "Failpoint":
+		t.Yield()
+		return nil
+	}
+	ic.faultf(pos, "unsupported cxl function %s", name)
+	return nil
+}
+
+// boxArgs converts interpreter values to the Go values Assert/Fail
+// format, matching what compiled code passing the same expressions
+// would hand to fmt.
+func boxArgs(args []value) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = goValue(a)
+	}
+	return out
+}

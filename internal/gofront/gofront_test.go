@@ -1,0 +1,360 @@
+package gofront_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gofront"
+)
+
+func load(t *testing.T, src string) *gofront.Source {
+	t.Helper()
+	s, err := gofront.Load("prog.go", []byte(src))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return s
+}
+
+func run(t *testing.T, src string, cfg core.Config) *core.Result {
+	t.Helper()
+	s := load(t, src)
+	prog, err := s.Program("Program")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	res, err := core.Run(cfg, prog)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestInterpSemantics drives the interpreter through the Go semantics
+// corner cases that must match compiled code exactly: sized-integer
+// wraparound, shift counts at and beyond the width, signed division
+// overflow, closures, per-iteration loop variables, slices, structs and
+// methods. Every check is a cxl.Assert on a simulated thread, so a
+// semantic divergence is a reported bug.
+func TestInterpSemantics(t *testing.T) {
+	const src = `package main
+
+import "cxl"
+
+type counter struct {
+	addr cxl.Ptr
+	step uint64
+}
+
+func (c *counter) bump() uint64 {
+	return cxl.FetchAdd64(c.addr, c.step)
+}
+
+func Program(r *cxl.Region) {
+	cell := r.Alloc(8)
+	m := r.NewMachine("m0")
+	m.Spawn("t0", func() {
+		// Sized-integer wraparound.
+		var x8 int8 = 127
+		x8++
+		cxl.Assert(int(x8) == -128, "int8 wrap: %d", x8)
+		var u8 uint8 = 200
+		u8 += 100
+		cxl.Assert(uint64(u8) == 44, "uint8 wrap: %d", u8)
+
+		// Shifts at and beyond the width.
+		var c uint = 64
+		cxl.Assert(uint64(1)<<c == 0, "shift-out")
+		var s int64 = -8
+		cxl.Assert(s>>c == -1, "signed shift floor: %d", s>>c)
+		cxl.Assert(s>>2 == -2, "signed shift: %d", s>>2)
+
+		// Signed division overflow wraps, matching the spec.
+		minInt := int64(-1) << 63
+		div := minInt / -1
+		cxl.Assert(div == minInt, "minint division: %d", div)
+		cxl.Assert(7%-2 == 1 && -7%2 == -1, "remainder signs")
+
+		// Golden-ratio multiply wraps like uint64 arithmetic.
+		k := uint64(3)
+		v := k*0x9E3779B97F4A7C15 | 1
+		cxl.Assert(v == 0xdaa66d2c7ddf743f, "wrapping multiply: %#x", v)
+
+		// Closures share their defining frame.
+		total := uint64(0)
+		add := func(d uint64) { total += d }
+		add(2)
+		add(3)
+		cxl.Assert(total == 5, "closure capture: %d", total)
+
+		// Per-iteration loop variables (Go 1.22).
+		var fns []func() uint64
+		for i := uint64(0); i < 3; i++ {
+			fns = append(fns, func() uint64 { return i })
+		}
+		sum := uint64(0)
+		for _, f := range fns {
+			sum += f()
+		}
+		cxl.Assert(sum == 3, "per-iteration loop vars: %d", sum)
+
+		// Slices are headers over shared backing.
+		s1 := []uint64{1, 2, 3}
+		s2 := s1
+		s2[0] = 10
+		cxl.Assert(s1[0] == 10, "slice aliasing")
+		s2 = append(s2, 4)
+		cxl.Assert(len(s1) == 3 && len(s2) == 4, "append lengths")
+
+		// Structs with methods, via the shared region.
+		ctr := &counter{addr: cell, step: 2}
+		ctr.bump()
+		ctr.bump()
+		cxl.Assert(cxl.Load64(cell) == 4, "method calls: %d", cxl.Load64(cell))
+
+		// Range over int, switch, defer ordering.
+		n := 0
+		for range 4 {
+			n++
+		}
+		cxl.Assert(n == 4, "range over int: %d", n)
+		grade := ""
+		switch k := n; k {
+		case 3:
+			grade = "three"
+		case 4:
+			grade = "four"
+		default:
+			grade = "other"
+		}
+		cxl.Assert(grade == "four", "switch: %s", grade)
+		check := uint64(0)
+		func() {
+			defer func() { check = check*10 + 1 }()
+			defer func() { check = check*10 + 2 }()
+			check = 9
+		}()
+		cxl.Assert(check == 921, "defer LIFO order: %d", check)
+	})
+}
+`
+	res := run(t, src, core.Config{})
+	if len(res.Bugs) != 0 {
+		for _, b := range res.Bugs {
+			t.Errorf("unexpected bug: %s: %s", b.Kind, b.Message)
+		}
+	}
+}
+
+// TestInterpTwoMachines exercises spawn/join/mutex lowering across two
+// machines with failure injection on: the assertion only runs when the
+// adder machines survive, so the whole exploration must stay bug-free.
+func TestInterpTwoMachines(t *testing.T) {
+	const src = `package main
+
+import "cxl"
+
+func Program(r *cxl.Region) {
+	total := r.Alloc(8)
+	mu := r.NewMutex("total")
+	m0 := r.NewMachine("m0")
+	m1 := r.NewMachine("m1")
+	adder := func() {
+		if mu.Lock() {
+			// Previous owner died mid-update; this workload's updates
+			// are atomic, so nothing to repair.
+		}
+		v := cxl.Load64(total)
+		cxl.Store64(total, v+1)
+		cxl.Flush(total)
+		cxl.Fence()
+		mu.Unlock()
+	}
+	t0 := m0.Spawn("a0", adder)
+	t1 := m1.Spawn("a1", adder)
+	m0.Spawn("check", func() {
+		cxl.JoinAll(t0, t1)
+		got := cxl.Load64(total)
+		cxl.Assert(got <= 2, "count overshoot: %d", got)
+	})
+}
+`
+	res := run(t, src, core.Config{})
+	if len(res.Bugs) != 0 {
+		for _, b := range res.Bugs {
+			t.Errorf("unexpected bug: %s: %s", b.Kind, b.Message)
+		}
+	}
+	if res.Stats.Executions < 2 {
+		t.Errorf("expected >1 executions with failure injection, got %d", res.Stats.Executions)
+	}
+}
+
+// TestLoadDiagnostics pins the load-time diagnostics: positioned,
+// capped, and raised for the documented unsupported constructs.
+func TestLoadDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "go statement",
+			src: `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	m := r.NewMachine("m0")
+	m.Spawn("t", func() {
+		go func() {}()
+	})
+}
+`,
+			want: "prog.go:6:3: go statements are unsupported",
+		},
+		{
+			name: "map type",
+			src: `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	_ = r
+	seen := map[uint64]bool{}
+	_ = seen
+}
+`,
+			want: "map types are unsupported",
+		},
+		{
+			name: "bad import",
+			src: `package main
+import (
+	"cxl"
+	"fmt"
+)
+func Program(r *cxl.Region) { fmt.Println(r) }
+`,
+			want: `cannot import "fmt"`,
+		},
+		{
+			name: "type error",
+			src: `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	var x uint64 = "nope"
+	cxl.Store64(cxl.Ptr(64), x)
+}
+`,
+			want: "prog.go:4:17",
+		},
+		{
+			name: "package-level var",
+			src: `package main
+import "cxl"
+var shared uint64
+func Program(r *cxl.Region) { _ = r }
+`,
+			want: "package-level variables are unsupported",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := gofront.Load("prog.go", []byte(tc.src))
+			if err == nil {
+				t.Fatalf("Load succeeded, want diagnostic containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("diagnostics = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEntryValidation covers -entry resolution errors.
+func TestEntryValidation(t *testing.T) {
+	s := load(t, `package main
+import "cxl"
+func Program(r *cxl.Region) { _ = r }
+func Other(x uint64) uint64 { return x }
+`)
+	if _, err := s.Program("Missing"); err == nil || !strings.Contains(err.Error(), `no function "Missing"`) {
+		t.Errorf("missing entry: %v", err)
+	}
+	if _, err := s.Program("Other"); err == nil || !strings.Contains(err.Error(), "func(*cxl.Region)") {
+		t.Errorf("bad signature: %v", err)
+	}
+	if got := s.Entries(); len(got) != 1 || got[0] != "Program" {
+		t.Errorf("Entries = %v, want [Program]", got)
+	}
+}
+
+// TestPhaseFaults pins the positioned phase-discipline faults: thread
+// operations during setup fail the run with a file:line error, and
+// setup operations on a thread report a positioned bug.
+func TestPhaseFaults(t *testing.T) {
+	s := load(t, `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	p := r.Alloc(8)
+	cxl.Store64(p, 1)
+}
+`)
+	prog, err := s.Program("Program")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	_, err = core.Run(core.Config{}, prog)
+	if err == nil || !strings.Contains(err.Error(), "prog.go:5:2") {
+		t.Fatalf("setup-phase thread op: err = %v, want prog.go:5:2 position", err)
+	}
+
+	s2 := load(t, `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	m := r.NewMachine("m0")
+	m.Spawn("t", func() {
+		r.Alloc(8)
+	})
+}
+`)
+	prog2, err := s2.Program("Program")
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	res, err := core.Run(core.Config{}, prog2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := false
+	for _, b := range res.Bugs {
+		if b.Kind == core.BugPanic && strings.Contains(b.Message, "prog.go:6:3") && strings.Contains(b.Message, "setup-only") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("setup op on thread: bugs = %+v, want positioned setup-only BugPanic", res.Bugs)
+	}
+}
+
+// TestRuntimeFaultPositioned: dynamic faults carry file:line, never a
+// bare panic.
+func TestRuntimeFaultPositioned(t *testing.T) {
+	res := run(t, `package main
+import "cxl"
+func Program(r *cxl.Region) {
+	m := r.NewMachine("m0")
+	m.Spawn("t", func() {
+		xs := []uint64{1, 2}
+		i := len(xs) + 1
+		cxl.Store64(cxl.Ptr(0), xs[i])
+	})
+}
+`, core.Config{})
+	found := false
+	for _, b := range res.Bugs {
+		if b.Kind == core.BugPanic && strings.Contains(b.Message, "prog.go:8:30") &&
+			strings.Contains(b.Message, "index out of range [3] with length 2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bugs = %+v, want positioned index-out-of-range BugPanic", res.Bugs)
+	}
+}

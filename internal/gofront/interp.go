@@ -1,0 +1,800 @@
+package gofront
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/core"
+)
+
+// maxInterpDepth bounds interpreted call recursion; maxInterpSteps
+// bounds host-side statements per thread invocation, so a loop that
+// never touches a cxl operation (and therefore never yields to the
+// checker's own livelock detection) still dies with a positioned fault
+// instead of wedging the scheduler.
+const (
+	maxInterpDepth = 4096
+	maxInterpSteps = 50_000_000
+)
+
+// execCtx is the state shared by every interpreted thread of one
+// program execution: the loaded source, the program under construction
+// and the optional vet site map.
+type execCtx struct {
+	src   *Source
+	prog  *core.Program
+	sites *SiteMap
+}
+
+// interp interprets checked functions for one phase: t is nil while
+// setup runs (Region methods legal, thread operations not) and the
+// simulated thread once spawned code runs.
+type interp struct {
+	ec    *execCtx
+	t     *core.Thread
+	depth int
+	steps int
+}
+
+// ctl is statement-level control flow.
+type ctl int
+
+const (
+	ctlNext ctl = iota
+	ctlBreak
+	ctlContinue
+	ctlReturn
+)
+
+// frame is one interpreted call activation.
+type frame struct {
+	sc      *scope
+	results []value
+	defers  []deferred
+}
+
+// deferred is one pending deferred call: callee and arguments were
+// resolved and evaluated at defer time, the call itself runs at unwind.
+type deferred struct {
+	run func() []value
+}
+
+func (ic *interp) faultf(pos token.Pos, format string, args ...any) {
+	ic.ec.src.faultf(pos, format, args...)
+}
+
+// invoke runs a function or method body with args already evaluated.
+// Deferred calls run via a real Go defer, so when a reported bug
+// unwinds the simulated thread (KillSelf panics through the
+// interpreter), interpreted defers execute exactly like the hand-ported
+// benchmarks' Go defers do — mutexes get unlocked during bug unwinding,
+// keeping op streams and decision trees identical.
+func (ic *interp) invoke(fn funcVal, args []value, pos token.Pos) []value {
+	ic.depth++
+	defer func() { ic.depth-- }()
+	if ic.depth > maxInterpDepth {
+		ic.faultf(pos, "interpreted call stack exceeds %d frames", maxInterpDepth)
+	}
+
+	var ftype *ast.FuncType
+	var body *ast.BlockStmt
+	parent := fn.env
+	switch {
+	case fn.lit != nil:
+		ftype, body = fn.lit.Type, fn.lit.Body
+	case fn.decl != nil:
+		ftype, body = fn.decl.Type, fn.decl.Body
+		parent = nil
+	default:
+		ic.faultf(pos, "call of nil function")
+	}
+	if body == nil {
+		ic.faultf(pos, "call of bodyless function")
+	}
+
+	fr := &frame{sc: newScope(parent)}
+	if fn.hasRecv {
+		recvField := fn.decl.Recv.List[0]
+		if len(recvField.Names) == 1 {
+			fr.sc.define(ic.ec.src.info.Defs[recvField.Names[0]], fn.recv)
+		}
+	}
+	i := 0
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if i >= len(args) {
+				ic.faultf(pos, "not enough arguments in interpreted call")
+			}
+			fr.sc.define(ic.ec.src.info.Defs[name], args[i])
+			i++
+		}
+	}
+
+	defer ic.runDefers(fr)
+	ic.execBlock(fr, fr.sc, body)
+	return fr.results
+}
+
+func (ic *interp) runDefers(fr *frame) {
+	for i := len(fr.defers) - 1; i >= 0; i-- {
+		fr.defers[i].run()
+	}
+}
+
+// ---- statements ----
+
+func (ic *interp) execBlock(fr *frame, parent *scope, block *ast.BlockStmt) ctl {
+	sc := newScope(parent)
+	for _, stmt := range block.List {
+		if c := ic.execStmt(fr, sc, stmt); c != ctlNext {
+			return c
+		}
+	}
+	return ctlNext
+}
+
+func (ic *interp) execStmt(fr *frame, sc *scope, stmt ast.Stmt) ctl {
+	ic.steps++
+	if ic.steps > maxInterpSteps {
+		ic.faultf(stmt.Pos(), "statement budget exceeded (%d): possible infinite loop with no cxl operations", maxInterpSteps)
+	}
+	switch st := stmt.(type) {
+	case *ast.EmptyStmt:
+		return ctlNext
+
+	case *ast.BlockStmt:
+		return ic.execBlock(fr, sc, st)
+
+	case *ast.ExprStmt:
+		ic.evalMulti(fr, sc, st.X)
+		return ctlNext
+
+	case *ast.DeclStmt:
+		gd := st.Decl.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				ic.faultf(spec.Pos(), "unsupported declaration")
+			}
+			for i, name := range vs.Names {
+				obj := ic.ec.src.info.Defs[name]
+				if len(vs.Values) > i {
+					sc.define(obj, ic.evalExpr(fr, sc, vs.Values[i]))
+					continue
+				}
+				zv, ok := zeroValue(obj.Type())
+				if !ok {
+					ic.faultf(name.Pos(), "cannot zero-initialize a variable of type %s", obj.Type())
+				}
+				sc.define(obj, zv)
+			}
+		}
+		return ctlNext
+
+	case *ast.AssignStmt:
+		ic.execAssign(fr, sc, st)
+		return ctlNext
+
+	case *ast.IncDecStmt:
+		cur, ok := ic.evalExpr(fr, sc, st.X).(num)
+		if !ok {
+			ic.faultf(st.Pos(), "++/-- on non-integer value")
+		}
+		delta := uint64(1)
+		if st.Tok == token.DEC {
+			delta = ^uint64(0) // -1
+		}
+		ic.assignTo(fr, sc, st.X, makeNum(cur.bits+delta, cur.kind))
+		return ctlNext
+
+	case *ast.IfStmt:
+		isc := sc
+		if st.Init != nil {
+			isc = newScope(sc)
+			ic.execStmt(fr, isc, st.Init)
+		}
+		if ic.evalBool(fr, isc, st.Cond) {
+			return ic.execBlock(fr, isc, st.Body)
+		}
+		if st.Else != nil {
+			return ic.execStmt(fr, newScope(isc), st.Else)
+		}
+		return ctlNext
+
+	case *ast.ForStmt:
+		return ic.execFor(fr, sc, st)
+
+	case *ast.RangeStmt:
+		return ic.execRange(fr, sc, st)
+
+	case *ast.SwitchStmt:
+		return ic.execSwitch(fr, sc, st)
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			return ctlBreak
+		case token.CONTINUE:
+			return ctlContinue
+		}
+		ic.faultf(st.Pos(), "unsupported branch statement %s", st.Tok)
+
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if len(st.Results) == 1 {
+				fr.results = append(fr.results, ic.evalMulti(fr, sc, res)...)
+				break
+			}
+			fr.results = append(fr.results, ic.evalExpr(fr, sc, res))
+		}
+		return ctlReturn
+
+	case *ast.DeferStmt:
+		fr.defers = append(fr.defers, deferred{run: ic.prepareCall(fr, sc, st.Call)})
+		return ctlNext
+	}
+	ic.faultf(stmt.Pos(), "unsupported statement")
+	return ctlNext
+}
+
+// loopVars returns the objects an init statement declared, for
+// per-iteration rebinding.
+func loopVars(info *types.Info, init ast.Stmt) []types.Object {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return nil
+	}
+	var objs []types.Object
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+func (ic *interp) execFor(fr *frame, sc *scope, st *ast.ForStmt) ctl {
+	lsc := newScope(sc)
+	var vars []types.Object
+	if st.Init != nil {
+		ic.execStmt(fr, lsc, st.Init)
+		vars = loopVars(ic.ec.src.info, st.Init)
+	}
+	for {
+		if st.Cond != nil && !ic.evalBool(fr, lsc, st.Cond) {
+			return ctlNext
+		}
+		// Go ≥1.22: each iteration gets its own loop variables. Run the
+		// body in a scope with fresh cells seeded from the loop scope,
+		// then copy the (possibly mutated) values back for cond/post.
+		isc := newScope(lsc)
+		for _, obj := range vars {
+			if cell, ok := lsc.lookup(obj); ok {
+				isc.define(obj, *cell)
+			}
+		}
+		c := ic.execBlock(fr, isc, st.Body)
+		for _, obj := range vars {
+			if cell, ok := isc.vars[obj]; ok {
+				if lcell, ok := lsc.lookup(obj); ok {
+					*lcell = *cell
+				}
+			}
+		}
+		if c == ctlBreak {
+			return ctlNext
+		}
+		if c == ctlReturn {
+			return c
+		}
+		if st.Post != nil {
+			ic.execStmt(fr, lsc, st.Post)
+		}
+	}
+}
+
+func (ic *interp) execRange(fr *frame, sc *scope, st *ast.RangeStmt) ctl {
+	if st.Tok == token.ASSIGN {
+		ic.faultf(st.Pos(), "range with = assignment is unsupported (use :=)")
+	}
+	xv := ic.evalExpr(fr, sc, st.X)
+	iter := func(i int, elem value, hasElem bool) ctl {
+		isc := newScope(sc)
+		if st.Key != nil {
+			if id, ok := st.Key.(*ast.Ident); ok {
+				isc.define(ic.ec.src.info.Defs[id], makeNum(uint64(i), types.Int))
+			}
+		}
+		if st.Value != nil && hasElem {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				isc.define(ic.ec.src.info.Defs[id], elem)
+			}
+		}
+		return ic.execBlock(fr, isc, st.Body)
+	}
+	switch x := xv.(type) {
+	case sliceVal:
+		for i, elem := range x.elems {
+			switch iter(i, elem, true) {
+			case ctlBreak:
+				return ctlNext
+			case ctlReturn:
+				return ctlReturn
+			}
+		}
+		return ctlNext
+	case num:
+		// Go ≥1.22 range-over-int; the key takes 0..n-1. Range over
+		// negative n iterates zero times. The key's static type matches
+		// the range operand.
+		n := x.signed()
+		for i := int64(0); i < n; i++ {
+			isc := newScope(sc)
+			if st.Key != nil {
+				if id, ok := st.Key.(*ast.Ident); ok {
+					isc.define(ic.ec.src.info.Defs[id], makeNum(uint64(i), x.kind))
+				}
+			}
+			switch ic.execBlock(fr, isc, st.Body) {
+			case ctlBreak:
+				return ctlNext
+			case ctlReturn:
+				return ctlReturn
+			}
+		}
+		return ctlNext
+	}
+	ic.faultf(st.X.Pos(), "range over unsupported value")
+	return ctlNext
+}
+
+func (ic *interp) execSwitch(fr *frame, sc *scope, st *ast.SwitchStmt) ctl {
+	ssc := sc
+	if st.Init != nil {
+		ssc = newScope(sc)
+		ic.execStmt(fr, ssc, st.Init)
+	}
+	var tag value
+	hasTag := st.Tag != nil
+	if hasTag {
+		tag = ic.evalExpr(fr, ssc, st.Tag)
+	}
+	var deflt *ast.CaseClause
+	for _, clause := range st.Body.List {
+		cc := clause.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			var match bool
+			if hasTag {
+				match = ic.valuesEqual(tag, ic.evalExpr(fr, ssc, e), e.Pos())
+			} else {
+				match = ic.evalBool(fr, ssc, e)
+			}
+			if match {
+				return ic.execCaseBody(fr, ssc, cc)
+			}
+		}
+	}
+	if deflt != nil {
+		return ic.execCaseBody(fr, ssc, deflt)
+	}
+	return ctlNext
+}
+
+func (ic *interp) execCaseBody(fr *frame, sc *scope, cc *ast.CaseClause) ctl {
+	csc := newScope(sc)
+	for _, s := range cc.Body {
+		c := ic.execStmt(fr, csc, s)
+		if c == ctlBreak {
+			return ctlNext // break inside switch leaves the switch
+		}
+		if c != ctlNext {
+			return c
+		}
+	}
+	return ctlNext
+}
+
+func (ic *interp) execAssign(fr *frame, sc *scope, st *ast.AssignStmt) {
+	// Multi-value RHS: a single call/two-result expression feeding
+	// multiple LHS targets.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		vals := ic.evalMulti(fr, sc, st.Rhs[0])
+		if len(vals) != len(st.Lhs) {
+			ic.faultf(st.Pos(), "assignment mismatch: %d targets, %d values", len(st.Lhs), len(vals))
+		}
+		ic.bindAssign(fr, sc, st, vals)
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		ic.faultf(st.Pos(), "assignment mismatch: %d targets, %d values", len(st.Lhs), len(st.Rhs))
+	}
+	if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+		// Evaluate every RHS before assigning (parallel assignment:
+		// a, b = b, a must swap).
+		vals := make([]value, len(st.Rhs))
+		for i, rhs := range st.Rhs {
+			vals[i] = ic.evalExpr(fr, sc, rhs)
+		}
+		ic.bindAssign(fr, sc, st, vals)
+		return
+	}
+	// Op-assign (+=, <<=, ...): single target.
+	cur, ok := ic.evalExpr(fr, sc, st.Lhs[0]).(num)
+	if !ok {
+		ic.faultf(st.Pos(), "%s on non-integer value", st.Tok)
+	}
+	rhs := ic.evalExpr(fr, sc, st.Rhs[0])
+	op := assignOp(st.Tok)
+	res := ic.applyBinary(op, cur, rhs, st.Pos())
+	ic.assignTo(fr, sc, st.Lhs[0], res)
+}
+
+func (ic *interp) bindAssign(fr *frame, sc *scope, st *ast.AssignStmt, vals []value) {
+	for i, lhs := range st.Lhs {
+		if st.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := ic.ec.src.info.Defs[id]; obj != nil {
+					sc.define(obj, vals[i])
+					continue
+				}
+				// := with an already-declared variable on the left
+				// (redeclaration) assigns.
+			}
+		}
+		ic.assignTo(fr, sc, lhs, vals[i])
+	}
+}
+
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}
+
+// assignTo stores v into an lvalue expression.
+func (ic *interp) assignTo(fr *frame, sc *scope, lhs ast.Expr, v value) {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		obj := ic.ec.src.info.Uses[e]
+		if obj == nil {
+			obj = ic.ec.src.info.Defs[e]
+		}
+		cell, ok := sc.lookup(obj)
+		if !ok {
+			ic.faultf(e.Pos(), "assignment to undeclared variable %s", e.Name)
+		}
+		*cell = v
+	case *ast.SelectorExpr:
+		sv, ok := ic.evalExpr(fr, sc, e.X).(*structVal)
+		if !ok || sv == nil {
+			ic.faultf(e.Pos(), "field assignment on non-struct value")
+		}
+		cell, ok := sv.fields[e.Sel.Name]
+		if !ok {
+			ic.faultf(e.Pos(), "struct %s has no field %s", sv.typeName, e.Sel.Name)
+		}
+		*cell = v
+	case *ast.IndexExpr:
+		s, ok := ic.evalExpr(fr, sc, e.X).(sliceVal)
+		if !ok {
+			ic.faultf(e.Pos(), "index assignment on non-slice value")
+		}
+		idx := ic.evalIndex(fr, sc, e.Index, len(s.elems))
+		s.elems[idx] = v
+	case *ast.ParenExpr:
+		ic.assignTo(fr, sc, e.X, v)
+	default:
+		ic.faultf(lhs.Pos(), "unsupported assignment target")
+	}
+}
+
+// ---- expressions ----
+
+func (ic *interp) evalBool(fr *frame, sc *scope, e ast.Expr) bool {
+	b, ok := ic.evalExpr(fr, sc, e).(boolVal)
+	if !ok {
+		ic.faultf(e.Pos(), "non-boolean condition")
+	}
+	return bool(b)
+}
+
+func (ic *interp) evalIndex(fr *frame, sc *scope, e ast.Expr, length int) int {
+	n, ok := ic.evalExpr(fr, sc, e).(num)
+	if !ok {
+		ic.faultf(e.Pos(), "non-integer index")
+	}
+	idx := n.signed()
+	if idx < 0 || idx >= int64(length) {
+		ic.faultf(e.Pos(), "index out of range [%d] with length %d", idx, length)
+	}
+	return int(idx)
+}
+
+// evalExpr evaluates an expression expected to produce exactly one
+// value.
+func (ic *interp) evalExpr(fr *frame, sc *scope, e ast.Expr) value {
+	vals := ic.evalMulti(fr, sc, e)
+	if len(vals) != 1 {
+		ic.faultf(e.Pos(), "expression yields %d values where one is required", len(vals))
+	}
+	return vals[0]
+}
+
+// evalMulti evaluates an expression that may produce multiple values
+// (multi-result calls).
+func (ic *interp) evalMulti(fr *frame, sc *scope, e ast.Expr) []value {
+	info := ic.ec.src.info
+	// Constant expressions (literals, consts, untyped arithmetic) come
+	// straight from the type checker.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		v, ok := constValue(tv.Value, tv.Type)
+		if !ok {
+			ic.faultf(e.Pos(), "unsupported constant")
+		}
+		return []value{v}
+	}
+
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return ic.evalMulti(fr, sc, x.X)
+
+	case *ast.Ident:
+		return []value{ic.evalIdent(sc, x)}
+
+	case *ast.FuncLit:
+		return []value{funcVal{lit: x, env: sc}}
+
+	case *ast.UnaryExpr:
+		return []value{ic.evalUnary(fr, sc, x)}
+
+	case *ast.BinaryExpr:
+		return []value{ic.evalBinary(fr, sc, x)}
+
+	case *ast.CallExpr:
+		return ic.evalCall(fr, sc, x)
+
+	case *ast.SelectorExpr:
+		return []value{ic.evalSelector(fr, sc, x)}
+
+	case *ast.IndexExpr:
+		s, ok := ic.evalExpr(fr, sc, x.X).(sliceVal)
+		if !ok {
+			ic.faultf(x.Pos(), "index of non-slice value")
+		}
+		return []value{s.elems[ic.evalIndex(fr, sc, x.Index, len(s.elems))]}
+
+	case *ast.CompositeLit:
+		return []value{ic.evalCompositeLit(fr, sc, x, false)}
+	}
+	ic.faultf(e.Pos(), "unsupported expression")
+	return nil
+}
+
+func (ic *interp) evalIdent(sc *scope, id *ast.Ident) value {
+	info := ic.ec.src.info
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	switch o := obj.(type) {
+	case *types.Nil:
+		return nilVal{}
+	case *types.Var:
+		if cell, ok := sc.lookup(o); ok {
+			return *cell
+		}
+		ic.faultf(id.Pos(), "variable %s is not initialized here", id.Name)
+	case *types.Func:
+		if fd, ok := ic.ec.src.funcs[id.Name]; ok {
+			return funcVal{decl: fd}
+		}
+		ic.faultf(id.Pos(), "function %s has no interpretable body", id.Name)
+	}
+	ic.faultf(id.Pos(), "unsupported identifier %s", id.Name)
+	return nil
+}
+
+func (ic *interp) evalUnary(fr *frame, sc *scope, x *ast.UnaryExpr) value {
+	switch x.Op {
+	case token.AND:
+		cl, ok := x.X.(*ast.CompositeLit)
+		if !ok {
+			ic.faultf(x.Pos(), "& is only supported on struct literals")
+		}
+		return ic.evalCompositeLit(fr, sc, cl, true)
+	case token.NOT:
+		return boolVal(!ic.evalBool(fr, sc, x.X))
+	case token.SUB:
+		n, ok := ic.evalExpr(fr, sc, x.X).(num)
+		if !ok {
+			ic.faultf(x.Pos(), "unary - on non-integer value")
+		}
+		return makeNum(-n.bits, n.kind)
+	case token.XOR:
+		n, ok := ic.evalExpr(fr, sc, x.X).(num)
+		if !ok {
+			ic.faultf(x.Pos(), "unary ^ on non-integer value")
+		}
+		return makeNum(^n.bits, n.kind)
+	case token.ADD:
+		return ic.evalExpr(fr, sc, x.X)
+	}
+	ic.faultf(x.Pos(), "unsupported unary operator %s", x.Op)
+	return nil
+}
+
+func (ic *interp) evalBinary(fr *frame, sc *scope, x *ast.BinaryExpr) value {
+	switch x.Op {
+	case token.LAND:
+		if !ic.evalBool(fr, sc, x.X) {
+			return boolVal(false)
+		}
+		return boolVal(ic.evalBool(fr, sc, x.Y))
+	case token.LOR:
+		if ic.evalBool(fr, sc, x.X) {
+			return boolVal(true)
+		}
+		return boolVal(ic.evalBool(fr, sc, x.Y))
+	}
+	xv := ic.evalExpr(fr, sc, x.X)
+	yv := ic.evalExpr(fr, sc, x.Y)
+	xn, xIsNum := xv.(num)
+	if xIsNum {
+		return ic.applyBinary(x.Op, xn, yv, x.Pos())
+	}
+	switch x.Op {
+	case token.EQL:
+		return boolVal(ic.valuesEqual(xv, yv, x.Pos()))
+	case token.NEQ:
+		return boolVal(!ic.valuesEqual(xv, yv, x.Pos()))
+	case token.ADD:
+		if a, ok := xv.(strVal); ok {
+			if b, ok := yv.(strVal); ok {
+				return a + b
+			}
+		}
+	}
+	ic.faultf(x.Pos(), "unsupported binary operator %s", x.Op)
+	return nil
+}
+
+func (ic *interp) applyBinary(op token.Token, x num, yv value, pos token.Pos) value {
+	y, ok := yv.(num)
+	if !ok {
+		ic.faultf(pos, "mixed operand types in binary %s", op)
+	}
+	switch op {
+	case token.SHL, token.SHR:
+		res, ok := shift(op, x, y)
+		if !ok {
+			ic.faultf(pos, "negative shift amount")
+		}
+		return res
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		res, ok := compare(op, x, y)
+		if !ok {
+			ic.faultf(pos, "unsupported comparison %s", op)
+		}
+		return boolVal(res)
+	default:
+		res, ok := arith(op, x, y)
+		if !ok {
+			if op == token.QUO || op == token.REM {
+				ic.faultf(pos, "runtime error: integer divide by zero")
+			}
+			ic.faultf(pos, "unsupported arithmetic operator %s", op)
+		}
+		return res
+	}
+}
+
+func (ic *interp) valuesEqual(x, y value, pos token.Pos) bool {
+	if xn, ok := x.(num); ok {
+		yn, ok := y.(num)
+		if !ok {
+			ic.faultf(pos, "mixed operand types in comparison")
+		}
+		eq, _ := compare(token.EQL, xn, yn)
+		return eq
+	}
+	eq, ok := equalValues(x, y)
+	if !ok {
+		ic.faultf(pos, "unsupported comparison")
+	}
+	return eq
+}
+
+func (ic *interp) evalSelector(fr *frame, sc *scope, x *ast.SelectorExpr) value {
+	info := ic.ec.src.info
+	if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+		sv, ok := ic.evalExpr(fr, sc, x.X).(*structVal)
+		if !ok || sv == nil {
+			ic.faultf(x.Pos(), "field access on nil or non-struct value")
+		}
+		cell, ok := sv.fields[x.Sel.Name]
+		if !ok {
+			ic.faultf(x.Pos(), "struct %s has no field %s", sv.typeName, x.Sel.Name)
+		}
+		return *cell
+	}
+	ic.faultf(x.Pos(), "unsupported selector %s (method values must be called directly)", x.Sel.Name)
+	return nil
+}
+
+func (ic *interp) evalCompositeLit(fr *frame, sc *scope, cl *ast.CompositeLit, addressed bool) value {
+	info := ic.ec.src.info
+	t := info.Types[cl].Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		var elems []value
+		for _, e := range cl.Elts {
+			if _, ok := e.(*ast.KeyValueExpr); ok {
+				ic.faultf(e.Pos(), "keyed slice literals are unsupported")
+			}
+			elems = append(elems, ic.evalExpr(fr, sc, e))
+		}
+		return sliceVal{elems: elems, elem: u.Elem()}
+	case *types.Struct:
+		if !addressed {
+			ic.faultf(cl.Pos(), "struct values must be created with &T{...} (structs are pointer-shaped in the checked subset)")
+		}
+		name := "struct"
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		sv := &structVal{typeName: name, fields: map[string]*value{}}
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			zv, ok := zeroValue(f.Type())
+			if !ok {
+				zv = nilVal{}
+			}
+			cell := new(value)
+			*cell = zv
+			sv.fields[f.Name()] = cell
+		}
+		for i, e := range cl.Elts {
+			kv, ok := e.(*ast.KeyValueExpr)
+			if ok {
+				*sv.fields[kv.Key.(*ast.Ident).Name] = ic.evalExpr(fr, sc, kv.Value)
+				continue
+			}
+			*sv.fields[u.Field(i).Name()] = ic.evalExpr(fr, sc, e)
+		}
+		return sv
+	}
+	ic.faultf(cl.Pos(), "unsupported composite literal type %s", t)
+	return nil
+}

@@ -1,0 +1,417 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/core"
+)
+
+// value is the interpreter's runtime value: one of the concrete types
+// below. Numbers carry their Go basic kind so sized-integer truncation,
+// signedness and formatting match compiled Go exactly; slices are host
+// Go slices of values, so header copying, aliasing and append growth
+// follow Go's own semantics for free.
+type value any
+
+type (
+	boolVal bool
+	strVal  string
+
+	// num is an integer value of a specific basic kind, stored as its
+	// two's-complement bit pattern zero-extended to 64 bits (always
+	// masked to the kind's width).
+	num struct {
+		bits uint64
+		kind types.BasicKind
+	}
+
+	// sliceVal wraps a host slice of values: copying a sliceVal copies
+	// the header (sharing the backing array), exactly like Go.
+	sliceVal struct {
+		elems []value
+		elem  types.Type
+	}
+
+	// structVal is a struct instance; structs are pointer-shaped in the
+	// subset (created by &T{...}), so *structVal is the value.
+	structVal struct {
+		typeName string
+		fields   map[string]*value
+	}
+
+	// funcVal is a function or method value: a declaration or a literal
+	// plus its captured environment and (for methods) bound receiver.
+	funcVal struct {
+		decl    *ast.FuncDecl
+		lit     *ast.FuncLit
+		env     *scope
+		recv    value
+		hasRecv bool
+	}
+
+	// nilVal is the untyped nil (usable where the subset allows nil:
+	// slice/pointer comparisons and zero values).
+	nilVal struct{}
+
+	// API object wrappers.
+	regionVal  struct{}
+	machineVal struct{ m *core.Machine }
+	threadVal  struct{ t *core.Thread }
+	mutexVal   struct{ mu *core.Mutex }
+)
+
+// scope is one lexical environment frame: a parent chain of
+// object→cell bindings, keyed by the go/types object so shadowing
+// resolves exactly as the type checker decided. Cells are pointers so
+// closures share mutations with their defining frame; per-iteration
+// loop variables get a fresh cell each iteration (Go ≥1.22 semantics).
+type scope struct {
+	parent *scope
+	vars   map[types.Object]*value
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[types.Object]*value{}}
+}
+
+func (s *scope) lookup(obj types.Object) (*value, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if cell, ok := sc.vars[obj]; ok {
+			return cell, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) define(obj types.Object, v value) *value {
+	cell := new(value)
+	*cell = v
+	if obj != nil && obj.Name() != "_" {
+		s.vars[obj] = cell
+	}
+	return cell
+}
+
+// basicKindOf resolves a type to its underlying basic kind, seeing
+// through named types (cxl.Ptr → uint64).
+func basicKindOf(t types.Type) (types.BasicKind, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0, false
+	}
+	k := b.Kind()
+	switch k {
+	case types.UntypedInt:
+		k = types.Int
+	case types.UntypedBool:
+		k = types.Bool
+	case types.UntypedString:
+		k = types.String
+	case types.UntypedRune:
+		k = types.Int32
+	}
+	return k, true
+}
+
+// kindWidth returns the bit width of an integer kind. The model is
+// 64-bit: int, uint and uintptr are 8 bytes, matching the platforms the
+// checker runs on and the hand-ported benchmarks assume.
+func kindWidth(k types.BasicKind) uint {
+	switch k {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+func kindSigned(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64:
+		return true
+	}
+	return false
+}
+
+func isIntegerKind(k types.BasicKind) bool {
+	switch k {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// truncate masks bits to the kind's width (two's complement: the sign
+// interpretation happens at use).
+func truncate(bits uint64, k types.BasicKind) uint64 {
+	w := kindWidth(k)
+	if w == 64 {
+		return bits
+	}
+	return bits & (1<<w - 1)
+}
+
+// signedOf interprets a num's bit pattern as its signed value.
+func (n num) signed() int64 {
+	w := kindWidth(n.kind)
+	if w == 64 {
+		return int64(n.bits)
+	}
+	shift := 64 - w
+	return int64(n.bits<<shift) >> shift
+}
+
+func makeNum(bits uint64, k types.BasicKind) num {
+	return num{bits: truncate(bits, k), kind: k}
+}
+
+// goValue boxes a value as the Go value of its own type, so fmt
+// formatting of Assert/Fail arguments matches what compiled code
+// passing the same expression would print.
+func goValue(v value) any {
+	switch x := v.(type) {
+	case boolVal:
+		return bool(x)
+	case strVal:
+		return string(x)
+	case num:
+		switch x.kind {
+		case types.Int:
+			return int(x.signed())
+		case types.Int8:
+			return int8(x.signed())
+		case types.Int16:
+			return int16(x.signed())
+		case types.Int32:
+			return int32(x.signed())
+		case types.Int64:
+			return x.signed()
+		case types.Uint:
+			return uint(x.bits)
+		case types.Uint8:
+			return uint8(x.bits)
+		case types.Uint16:
+			return uint16(x.bits)
+		case types.Uint32:
+			return uint32(x.bits)
+		case types.Uintptr:
+			return uintptr(x.bits)
+		default:
+			return x.bits
+		}
+	case nilVal:
+		return nil
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// constValue converts a go/types constant into a runtime value of the
+// expression's resolved type.
+func constValue(cv constant.Value, t types.Type) (value, bool) {
+	k, ok := basicKindOf(t)
+	if !ok {
+		return nil, false
+	}
+	switch cv.Kind() {
+	case constant.Bool:
+		return boolVal(constant.BoolVal(cv)), true
+	case constant.String:
+		return strVal(constant.StringVal(cv)), true
+	case constant.Int:
+		if kindSigned(k) {
+			i, exact := constant.Int64Val(cv)
+			if !exact {
+				return nil, false
+			}
+			return makeNum(uint64(i), k), true
+		}
+		u, exact := constant.Uint64Val(cv)
+		if !exact {
+			// A negative constant converted to an unsigned kind (legal
+			// in shifts of constants); fall back through int64.
+			i, exact2 := constant.Int64Val(cv)
+			if !exact2 {
+				return nil, false
+			}
+			return makeNum(uint64(i), k), true
+		}
+		return makeNum(u, k), true
+	}
+	return nil, false
+}
+
+// zeroValue builds the zero value of t, for make([]T, n) and var decls.
+func zeroValue(t types.Type) (value, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		k, _ := basicKindOf(t)
+		switch {
+		case k == types.Bool:
+			return boolVal(false), true
+		case k == types.String:
+			return strVal(""), true
+		case isIntegerKind(k):
+			return makeNum(0, k), true
+		}
+	case *types.Slice:
+		return sliceVal{elems: nil, elem: u.Elem()}, true
+	case *types.Pointer, *types.Signature:
+		return nilVal{}, true
+	}
+	return nil, false
+}
+
+// arith applies a binary arithmetic/bitwise operator to two nums of the
+// same kind, with Go's exact wraparound semantics. Division by zero is
+// reported by the caller (ok=false).
+func arith(op token.Token, x, y num) (num, bool) {
+	k := x.kind
+	signed := kindSigned(k)
+	var bits uint64
+	switch op {
+	case token.ADD:
+		bits = x.bits + y.bits
+	case token.SUB:
+		bits = x.bits - y.bits
+	case token.MUL:
+		bits = x.bits * y.bits
+	case token.QUO:
+		if y.bits == 0 {
+			return num{}, false
+		}
+		if signed {
+			bits = uint64(x.signed() / y.signed())
+		} else {
+			bits = x.bits / y.bits
+		}
+	case token.REM:
+		if y.bits == 0 {
+			return num{}, false
+		}
+		if signed {
+			bits = uint64(x.signed() % y.signed())
+		} else {
+			bits = x.bits % y.bits
+		}
+	case token.AND:
+		bits = x.bits & y.bits
+	case token.OR:
+		bits = x.bits | y.bits
+	case token.XOR:
+		bits = x.bits ^ y.bits
+	case token.AND_NOT:
+		bits = x.bits &^ y.bits
+	default:
+		return num{}, false
+	}
+	return makeNum(bits, k), true
+}
+
+// shift applies << or >> with Go's runtime semantics: negative counts
+// are a fault (ok=false), counts at or beyond the width shift out to
+// 0 (or to the sign for signed >>).
+func shift(op token.Token, x num, count num) (num, bool) {
+	if kindSigned(count.kind) && count.signed() < 0 {
+		return num{}, false
+	}
+	c := count.bits
+	w := uint64(kindWidth(x.kind))
+	switch op {
+	case token.SHL:
+		if c >= w {
+			return makeNum(0, x.kind), true
+		}
+		return makeNum(x.bits<<c, x.kind), true
+	case token.SHR:
+		if kindSigned(x.kind) {
+			if c >= w {
+				c = w - 1
+			}
+			return makeNum(uint64(x.signed()>>c), x.kind), true
+		}
+		if c >= w {
+			return makeNum(0, x.kind), true
+		}
+		return makeNum(x.bits>>c, x.kind), true
+	}
+	return num{}, false
+}
+
+// compare applies a comparison operator to two nums of the same kind.
+func compare(op token.Token, x, y num) (bool, bool) {
+	var lt, eq bool
+	if kindSigned(x.kind) {
+		lt, eq = x.signed() < y.signed(), x.bits == y.bits
+	} else {
+		lt, eq = x.bits < y.bits, x.bits == y.bits
+	}
+	switch op {
+	case token.EQL:
+		return eq, true
+	case token.NEQ:
+		return !eq, true
+	case token.LSS:
+		return lt, true
+	case token.LEQ:
+		return lt || eq, true
+	case token.GTR:
+		return !lt && !eq, true
+	case token.GEQ:
+		return !lt, true
+	}
+	return false, false
+}
+
+// equalValues implements == on the non-numeric comparable subset
+// (bools, strings, API handles, nil against pointer-shaped values).
+func equalValues(x, y value) (bool, bool) {
+	switch a := x.(type) {
+	case boolVal:
+		b, ok := y.(boolVal)
+		return a == b, ok
+	case strVal:
+		b, ok := y.(strVal)
+		return a == b, ok
+	case threadVal:
+		b, ok := y.(threadVal)
+		return a.t == b.t, ok
+	case machineVal:
+		b, ok := y.(machineVal)
+		return a.m == b.m, ok
+	case mutexVal:
+		b, ok := y.(mutexVal)
+		return a.mu == b.mu, ok
+	case *structVal:
+		if _, isNil := y.(nilVal); isNil {
+			return a == nil, true
+		}
+		b, ok := y.(*structVal)
+		return a == b, ok
+	case nilVal:
+		switch b := y.(type) {
+		case nilVal:
+			return true, true
+		case *structVal:
+			return b == nil, true
+		case sliceVal:
+			return b.elems == nil, true
+		case funcVal:
+			return false, true
+		}
+	case sliceVal:
+		if _, isNil := y.(nilVal); isNil {
+			return a.elems == nil, true
+		}
+	}
+	return false, false
+}

@@ -512,6 +512,9 @@ func specName(sp *Spec) string {
 	if sp.Gen != nil {
 		return fmt.Sprintf("gen seed %d", sp.Gen.Seed)
 	}
+	if sp.Source != "" {
+		return fmt.Sprintf("source %s entry %s", sp.SourceName, sp.Entry)
+	}
 	return sp.Bench
 }
 
@@ -779,7 +782,7 @@ func (s *Server) runJob(j *job) {
 
 	program, ok := j.spec.program()
 	if !ok {
-		s.finishJob(j, StateFailed, nil, fmt.Sprintf("unknown benchmark %q", j.spec.Bench))
+		s.finishJob(j, StateFailed, nil, fmt.Sprintf("unresolvable program (%s)", specName(&j.spec)))
 		return
 	}
 	cfg := j.spec.checkConfig(s.baseConfig())

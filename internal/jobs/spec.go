@@ -95,6 +95,18 @@ type Spec struct {
 	// Gen selects a harness-generated program instead of Bench.
 	Gen *GenSpec `json:"gen,omitempty"`
 
+	// Source is an inline Go source program written against the public
+	// gofront/cxl API, checked through the same front-end as `cxlmc
+	// -check`. It is validated (parse, type-check, subset, entry) at
+	// submit time, so a bad program is a 400 with positioned file:line
+	// diagnostics, never a queued job that fails later. Capped at
+	// MaxSourceBytes. Exactly one of Bench, Gen and Source is set.
+	Source string `json:"source,omitempty"`
+	// SourceName labels Source in diagnostics and logs (default
+	// "job.go"); Entry names the entry function (default "Program").
+	SourceName string `json:"source_name,omitempty"`
+	Entry      string `json:"entry,omitempty"`
+
 	// Whitelisted exploration knobs, mirroring the checker Config fields
 	// of the same names.
 	Seed             int64        `json:"seed,omitempty"`
@@ -115,6 +127,11 @@ type Spec struct {
 // maxWorkersPerJob caps one job's exploration workers so a single
 // tenant cannot monopolize the host's cores.
 const maxWorkersPerJob = 16
+
+// MaxSourceBytes caps an inline source program: big enough for any
+// reasonable checked program, small enough that the journal (which
+// records the full spec) stays cheap to replay on restart.
+const MaxSourceBytes = 128 << 10
 
 // validTenant keeps tenant names path- and log-safe.
 func validTenant(t string) bool {
@@ -141,8 +158,36 @@ func (sp *Spec) normalize() error {
 	if !validTenant(sp.Tenant) {
 		return fmt.Errorf("jobs: bad tenant %q: want 1-64 characters of [a-zA-Z0-9._-]", sp.Tenant)
 	}
-	if (sp.Bench == "") == (sp.Gen == nil) {
-		return fmt.Errorf("jobs: a spec names exactly one program: set bench or gen")
+	programs := 0
+	for _, set := range []bool{sp.Bench != "", sp.Gen != nil, sp.Source != ""} {
+		if set {
+			programs++
+		}
+	}
+	if programs != 1 {
+		return fmt.Errorf("jobs: a spec names exactly one program: set bench, gen or source")
+	}
+	if sp.Source == "" && (sp.SourceName != "" || sp.Entry != "") {
+		return fmt.Errorf("jobs: source_name and entry describe an inline source program; set source")
+	}
+	if sp.Source != "" {
+		if len(sp.Source) > MaxSourceBytes {
+			return fmt.Errorf("jobs: source is %d bytes; the cap is %d", len(sp.Source), MaxSourceBytes)
+		}
+		if sp.SourceName == "" {
+			sp.SourceName = "job.go"
+		}
+		if sp.Entry == "" {
+			sp.Entry = "Program"
+		}
+		if len(sp.SourceName) > 128 || !validSourceName(sp.SourceName) {
+			return fmt.Errorf("jobs: bad source_name %q: want a short printable name with no path separators", sp.SourceName)
+		}
+		// Front-load the whole front-end: a spec that queues is a spec
+		// that runs.
+		if _, err := cxlmc.ProgramFromSource(sp.SourceName, []byte(sp.Source), sp.Entry); err != nil {
+			return fmt.Errorf("jobs: bad source program: %w", err)
+		}
 	}
 	if sp.Bench != "" {
 		if _, ok := sp.program(); !ok {
@@ -160,8 +205,28 @@ func (sp *Spec) normalize() error {
 	return nil
 }
 
+// validSourceName keeps the diagnostic label printable and free of
+// path separators (it names the virtual file, not a host path).
+func validSourceName(name string) bool {
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f || r == '/' || r == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
 // program resolves the spec to the checker's program constructor.
 func (sp *Spec) program() (func(*cxlmc.Program), bool) {
+	if sp.Source != "" {
+		prog, err := cxlmc.ProgramFromSource(sp.SourceName, []byte(sp.Source), sp.Entry)
+		if err != nil {
+			// normalize vetted the source at submit time; reaching this
+			// means a hand-edited journal record.
+			return nil, false
+		}
+		return prog, true
+	}
 	if sp.Gen != nil {
 		gc := harness.GenConfig{
 			MaxMachines:          sp.Gen.Machines,
